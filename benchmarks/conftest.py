@@ -1,0 +1,23 @@
+"""Benchmark session plumbing: replay emitted tables after the run."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import emitted  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = emitted()
+    if not tables:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 70)
+    terminalreporter.write_line("Reproduced tables/figures (also saved under "
+                                "benchmarks/results/):")
+    for name, text in tables:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

@@ -1,0 +1,71 @@
+"""Ablation: pyramid matching speed-up (Section 5.1's acceleration).
+
+The paper adopts coarse-to-fine pyramid matching because scanning every
+pattern over every full-resolution image is too slow.  This benchmark
+times feature generation with exact matching vs the pyramid matcher and
+verifies the scores stay close.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _common import BENCH, emit
+from repro.eval.experiments import prepare_context
+from repro.features.generator import FeatureGenerator
+from repro.imaging.pyramid import PyramidMatcher
+from repro.utils.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def matching_workload():
+    ctx = prepare_context("ksdd", BENCH)
+    images = ctx.test.subset(list(range(min(25, len(ctx.test))))).images
+    return ctx.crowd.patterns, [item.image for item in images]
+
+
+@pytest.mark.benchmark(group="ablation-pyramid")
+def test_exact_matching_time(benchmark, matching_workload):
+    patterns, images = matching_workload
+    fg = FeatureGenerator(patterns, PyramidMatcher(enabled=False))
+    benchmark.pedantic(fg.transform_images, args=(images,), rounds=2,
+                       iterations=1)
+
+
+@pytest.mark.benchmark(group="ablation-pyramid")
+def test_pyramid_matching_time(benchmark, matching_workload):
+    patterns, images = matching_workload
+    fg = FeatureGenerator(patterns, PyramidMatcher(factor=4))
+    benchmark.pedantic(fg.transform_images, args=(images,), rounds=2,
+                       iterations=1)
+
+
+@pytest.mark.benchmark(group="ablation-pyramid")
+def test_pyramid_score_agreement(benchmark, matching_workload):
+    patterns, images = matching_workload
+
+    def compare():
+        exact = FeatureGenerator(
+            patterns, PyramidMatcher(enabled=False)
+        ).transform_images(images).values
+        fast = FeatureGenerator(
+            patterns, PyramidMatcher(factor=4)
+        ).transform_images(images).values
+        return exact, fast
+
+    exact, fast = benchmark.pedantic(compare, rounds=1, iterations=1)
+    gap = np.abs(exact - fast)
+    emit("ablation_pyramid", format_table(
+        ["Metric", "Value"],
+        [
+            ["mean |exact - pyramid| similarity gap", float(gap.mean())],
+            ["max |exact - pyramid| similarity gap", float(gap.max())],
+            ["pyramid score <= exact (share)", float((fast <= exact + 1e-9).mean())],
+        ],
+        title="Ablation: pyramid vs exact NCC matching "
+              "(see timing groups for the speed-up)",
+    ))
+    assert gap.mean() < 0.05

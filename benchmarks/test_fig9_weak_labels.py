@@ -1,0 +1,89 @@
+"""Figure 9: weak-label F1 vs development-set size, all methods.
+
+For every dataset, sweeps the annotation budget and evaluates Inspector
+Gadget against Snuba, GOGGLES, self-learning CNNs (VGG / MobileNet-style)
+and transfer learning.  Dev-set sizes are scaled-down analogs of the paper's
+sweep ranges (the pool itself is scaled down; see EXPERIMENTS.md).
+
+Paper shapes to reproduce:
+* Among non-pre-trained methods, IG is best or second-best everywhere.
+* Snuba trails IG; GOGGLES is flat in dev size (it never trains on dev
+  labels); SL(VGG) only shines on fixed-position stampings; SL(MobileNet)
+  never performs well; TL is competitive overall.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from _common import ALL_DATASETS, emit, profile_for
+from repro.eval.experiments import (
+    prepare_context,
+    pretext_backbone,
+    run_goggles,
+    run_inspector_gadget,
+    run_self_learning,
+    run_snuba,
+    run_transfer,
+)
+from repro.utils.tables import format_table
+
+# Scaled-down analogs of the paper's per-dataset dev-size ranges.
+DEV_SIZES = {
+    "ksdd": (16, 32, 48),
+    "product_scratch": (16, 32, 56),
+    "product_bubble": (16, 32, 56),
+    "product_stamping": (16, 32, 56),
+    "neu": (30, 42, 54),
+}
+
+METHODS = ("IG", "Snuba", "GOGGLES", "SL-VGG", "SL-MNet", "TL")
+
+
+def _run_dataset(name: str):
+    profile = profile_for(name)
+    backbone = pretext_backbone(profile)
+    rows = []
+    goggles_f1 = None
+    for dev_size in DEV_SIZES[name]:
+        ctx = prepare_context(name, profile, dev_budget=dev_size)
+        f1_ig, _ = run_inspector_gadget(ctx, n_policy=8, n_gan=8)
+        f1_snuba = run_snuba(ctx)
+        if goggles_f1 is None:
+            # GOGGLES never trains on dev labels; its accuracy is constant
+            # in dev size (the flat lines of Figure 9), so run it once.
+            goggles_f1 = run_goggles(ctx, backbone=copy.deepcopy(backbone))
+        f1_sl_vgg = run_self_learning(ctx, arch="vgg")
+        f1_sl_mnet = run_self_learning(ctx, arch="mobilenet")
+        f1_tl = run_transfer(ctx, backbone=copy.deepcopy(backbone))
+        rows.append([name, dev_size, f1_ig, f1_snuba, goggles_f1,
+                     f1_sl_vgg, f1_sl_mnet, f1_tl])
+    return rows
+
+
+def _score_table(rows):
+    return format_table(
+        ["Dataset", "Dev size"] + list(METHODS),
+        rows,
+        title="Figure 9: weak-label F1 vs dev-set size "
+              "(paper: IG best or 2nd-best among non-pre-trained methods)",
+    )
+
+
+@pytest.mark.benchmark(group="fig9")
+@pytest.mark.parametrize("name", ALL_DATASETS)
+def test_fig9_dataset(benchmark, name):
+    rows = benchmark.pedantic(_run_dataset, args=(name,), rounds=1,
+                              iterations=1)
+    emit(f"fig9_{name}", _score_table(rows))
+    # Shape assertion: at the largest dev size, IG ranks first or second
+    # among the non-pre-trained methods (IG, Snuba, GOGGLES, SL-VGG, SL-MNet).
+    last = rows[-1]
+    ig = last[2]
+    competitors = [last[3], last[4], last[5], last[6]]
+    # Tolerance: a competitor must beat IG by a clear margin to outrank it
+    # (single-seed runs at reduced scale carry noise).
+    rank = 1 + sum(1 for c in competitors if c > ig + 0.05)
+    assert rank <= 2, f"IG ranked {rank} on {name}: IG={ig}, others={competitors}"

@@ -1,0 +1,40 @@
+"""repro — reproduction of *Inspector Gadget: A Data Programming-based
+Labeling System for Industrial Images* (Heo et al., VLDB 2020).
+
+The package implements the complete system plus every substrate it needs in
+this offline environment (see DESIGN.md): synthetic industrial datasets, a
+simulated crowdsourcing workflow, pattern augmentation (policy search and a
+Relativistic GAN), NCC feature generation with pyramid matching, the tuned
+MLP labeler, and the paper's comparison baselines (Snuba, GOGGLES,
+self-learning CNNs, transfer learning).
+
+Quickstart::
+
+    from repro import InspectorGadget, InspectorGadgetConfig, make_dataset
+
+    dataset = make_dataset("ksdd", scale=0.1, seed=0)
+    ig = InspectorGadget(InspectorGadgetConfig())
+    report = ig.fit(dataset)
+    weak_labels = ig.predict(dataset)
+"""
+
+from repro.core.config import InspectorGadgetConfig
+from repro.core.pipeline import FitReport, InspectorGadget
+from repro.datasets.registry import DATASET_NAMES, make_dataset
+from repro.eval.metrics import f1_score
+from repro.labeler.weak_labels import WeakLabels
+from repro.patterns import Pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InspectorGadget",
+    "InspectorGadgetConfig",
+    "FitReport",
+    "make_dataset",
+    "DATASET_NAMES",
+    "f1_score",
+    "WeakLabels",
+    "Pattern",
+    "__version__",
+]

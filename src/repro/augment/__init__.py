@@ -1,0 +1,42 @@
+"""Pattern augmentation (Section 4): GAN-based and policy-based.
+
+Patterns may be too few after crowdsourcing — especially under class
+imbalance — so Inspector Gadget synthesizes more.  GAN-based augmentation
+(a Relativistic GAN with spectral normalization) produces random variations
+close to the existing patterns; policy-based augmentation applies searched
+image-operation combinations that can produce larger but still-valid
+variations.  The two complement each other (Table 4: using both usually
+wins).  Augmentation operates on small patterns, never whole images, which
+is what makes it tractable.
+"""
+
+from repro.augment.augmenter import AugmentConfig, PatternAugmenter
+from repro.augment.gan import RGANConfig, RelativisticGAN, gan_augment
+from repro.augment.policies import (
+    DEFAULT_OPS,
+    PolicyOp,
+    apply_policy,
+    get_op,
+)
+from repro.augment.policy_search import (
+    PolicySearchConfig,
+    PolicySearchResult,
+    policy_augment,
+    search_policies,
+)
+
+__all__ = [
+    "AugmentConfig",
+    "PatternAugmenter",
+    "RGANConfig",
+    "RelativisticGAN",
+    "gan_augment",
+    "PolicyOp",
+    "DEFAULT_OPS",
+    "apply_policy",
+    "get_op",
+    "PolicySearchConfig",
+    "PolicySearchResult",
+    "search_policies",
+    "policy_augment",
+]

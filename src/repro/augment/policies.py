@@ -1,0 +1,115 @@
+"""Policy operations for pattern augmentation (Section 4.2).
+
+Each policy is an image operation with a magnitude range; Figure 7 of the
+paper shows examples (Brightness 1.632, Invert 0.246, ResizeX 0.872,
+Rotate 7.000).  ``Invert`` takes a blend magnitude: the output interpolates
+between the pattern and its photometric negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.imaging import ops as imops
+from repro.utils.rng import as_rng
+
+__all__ = ["PolicyOp", "DEFAULT_OPS", "get_op", "apply_policy", "random_magnitudes"]
+
+
+@dataclass(frozen=True)
+class PolicyOp:
+    """One augmentation operation with its valid magnitude range."""
+
+    name: str
+    apply: Callable[[np.ndarray, float], np.ndarray]
+    magnitude_range: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        lo, hi = self.magnitude_range
+        if not lo < hi:
+            raise ValueError(f"invalid magnitude range for {self.name}: {self.magnitude_range}")
+
+    def sample_magnitude(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(*self.magnitude_range))
+
+
+def _resize_x(image: np.ndarray, factor: float) -> np.ndarray:
+    w = max(2, int(round(image.shape[1] * factor)))
+    return imops.resize(image, (image.shape[0], w))
+
+
+def _resize_y(image: np.ndarray, factor: float) -> np.ndarray:
+    h = max(2, int(round(image.shape[0] * factor)))
+    return imops.resize(image, (h, image.shape[1]))
+
+
+def _invert_blend(image: np.ndarray, magnitude: float) -> np.ndarray:
+    return (1.0 - magnitude) * image + magnitude * imops.invert(image)
+
+
+def _translate_x(image: np.ndarray, fraction: float) -> np.ndarray:
+    return imops.translate(image, 0.0, fraction * image.shape[1],
+                           fill=float(image.mean()))
+
+
+def _translate_y(image: np.ndarray, fraction: float) -> np.ndarray:
+    return imops.translate(image, fraction * image.shape[0], 0.0,
+                           fill=float(image.mean()))
+
+
+def _rotate(image: np.ndarray, degrees: float) -> np.ndarray:
+    return imops.rotate(image, degrees, fill=float(image.mean()))
+
+
+def _shear_x(image: np.ndarray, factor: float) -> np.ndarray:
+    return imops.shear_x(image, factor, fill=float(image.mean()))
+
+
+def _shear_y(image: np.ndarray, factor: float) -> np.ndarray:
+    return imops.shear_y(image, factor, fill=float(image.mean()))
+
+
+DEFAULT_OPS: tuple[PolicyOp, ...] = (
+    PolicyOp("rotate", _rotate, (-15.0, 15.0)),
+    PolicyOp("resize_x", _resize_x, (0.7, 1.4)),
+    PolicyOp("resize_y", _resize_y, (0.7, 1.4)),
+    PolicyOp("brightness", imops.adjust_brightness, (0.7, 1.7)),
+    PolicyOp("contrast", imops.adjust_contrast, (0.6, 1.6)),
+    PolicyOp("invert", _invert_blend, (0.0, 0.35)),
+    PolicyOp("shear_x", _shear_x, (-0.3, 0.3)),
+    PolicyOp("shear_y", _shear_y, (-0.3, 0.3)),
+    PolicyOp("translate_x", _translate_x, (-0.15, 0.15)),
+    PolicyOp("translate_y", _translate_y, (-0.15, 0.15)),
+)
+
+
+def get_op(name: str) -> PolicyOp:
+    """Look up a default op by name."""
+    for op in DEFAULT_OPS:
+        if op.name == name:
+            return op
+    raise KeyError(f"unknown policy op {name!r}; available: "
+                   f"{[o.name for o in DEFAULT_OPS]}")
+
+
+def apply_policy(
+    image: np.ndarray, steps: list[tuple[PolicyOp, float]]
+) -> np.ndarray:
+    """Apply a sequence of (op, magnitude) steps to ``image``."""
+    out = image
+    for op, magnitude in steps:
+        out = op.apply(out, magnitude)
+    return np.clip(out, 0.0, 1.0)
+
+
+def random_magnitudes(
+    op: PolicyOp, n: int, rng: int | np.random.Generator | None
+) -> list[float]:
+    """Sample ``n`` random magnitudes within the op's range (paper: 10)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = as_rng(rng)
+    return [op.sample_magnitude(rng) for _ in range(n)]

@@ -1,0 +1,202 @@
+"""Policy-combination search (Section 4.2).
+
+The paper's procedure, simpler than AutoAugment: split the development set
+into train and test halves; for every combination of three policies, sample
+10 random magnitudes per policy, augment the train-half patterns, train the
+labeler on the train half, and evaluate on the test half; keep the best
+combination and apply it to the whole pattern set.
+
+Exhaustively iterating all C(10, 3) = 120 combinations retrains the labeler
+120 times; ``max_combos`` caps the search with a seeded random subsample for
+budgeted runs (the cap and its effect are logged in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from repro.augment.policies import (
+    DEFAULT_OPS,
+    PolicyOp,
+    apply_policy,
+    random_magnitudes,
+)
+from repro.datasets.base import Dataset
+from repro.eval.metrics import f1_score
+from repro.features.generator import FeatureGenerator
+from repro.imaging.pyramid import PyramidMatcher
+from repro.labeler.mlp import MLPLabeler
+from repro.patterns import Pattern
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "PolicySearchConfig",
+    "PolicySearchResult",
+    "search_policies",
+    "policy_augment",
+]
+
+
+@dataclass(frozen=True)
+class PolicySearchConfig:
+    """Search hyper-parameters; paper defaults are combo_size=3, 10 magnitudes."""
+
+    ops: tuple[PolicyOp, ...] = DEFAULT_OPS
+    combo_size: int = 3
+    n_magnitudes: int = 10
+    max_combos: int | None = None
+    train_fraction: float = 0.5
+    labeler_hidden: tuple[int, ...] = (8,)
+    labeler_max_iter: int = 60
+    per_pattern_augment: int = 3
+
+    def __post_init__(self) -> None:
+        if self.combo_size < 1 or self.combo_size > len(self.ops):
+            raise ValueError(
+                f"combo_size must be in [1, {len(self.ops)}], got {self.combo_size}"
+            )
+        if self.n_magnitudes < 1:
+            raise ValueError("n_magnitudes must be >= 1")
+        if not 0.0 < self.train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+
+
+@dataclass
+class PolicySearchResult:
+    """The winning policy combination with its sampled magnitudes."""
+
+    ops: tuple[PolicyOp, ...]
+    magnitudes: tuple[tuple[float, ...], ...]  # per op, the 10 sampled values
+    score: float
+    all_scores: dict[tuple[str, ...], float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        names = ", ".join(op.name for op in self.ops)
+        return f"policy combo [{names}] (dev F1 {self.score:.3f})"
+
+
+def _augment_patterns_with(
+    patterns: list[Pattern],
+    ops: tuple[PolicyOp, ...],
+    magnitudes: tuple[tuple[float, ...], ...],
+    n_per_pattern: int,
+    rng: np.random.Generator,
+) -> list[Pattern]:
+    """Apply the policy combo to each pattern ``n_per_pattern`` times."""
+    out: list[Pattern] = []
+    for pattern in patterns:
+        for _ in range(n_per_pattern):
+            steps = [
+                (op, mags[int(rng.integers(0, len(mags)))])
+                for op, mags in zip(ops, magnitudes)
+            ]
+            arr = apply_policy(pattern.array, steps)
+            if min(arr.shape) < 2:
+                continue
+            out.append(Pattern(array=arr, label=pattern.label,
+                               provenance="policy",
+                               source_image=pattern.source_image))
+    return out
+
+
+def _score_combo(
+    base_patterns: list[Pattern],
+    augmented: list[Pattern],
+    train: Dataset,
+    test: Dataset,
+    n_classes: int,
+    task: str,
+    config: PolicySearchConfig,
+    matcher: PyramidMatcher,
+    rng: np.random.Generator,
+) -> float:
+    """Train the labeler with base+augmented patterns, score on the test half."""
+    fg = FeatureGenerator(base_patterns + augmented, matcher)
+    x_train = fg.transform(train).values
+    x_test = fg.transform(test).values
+    labeler = MLPLabeler(
+        input_dim=x_train.shape[1], hidden=config.labeler_hidden,
+        n_classes=n_classes, seed=rng, max_iter=config.labeler_max_iter,
+    )
+    labeler.fit(x_train, train.labels)
+    return f1_score(test.labels, labeler.predict(x_test), task=task)
+
+
+def search_policies(
+    patterns: list[Pattern],
+    dev: Dataset,
+    config: PolicySearchConfig | None = None,
+    matcher: PyramidMatcher | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> PolicySearchResult:
+    """Find the policy combination that maximizes dev-set F1."""
+    if not patterns:
+        raise ValueError("need at least one pattern to search policies")
+    config = config or PolicySearchConfig()
+    matcher = matcher or PyramidMatcher()
+    rng = as_rng(seed)
+    n_classes = dev.n_classes
+    task = dev.task
+
+    # Split the dev set into train/test halves (stratified).
+    from repro.datasets.base import stratified_split
+
+    n_train = max(2, int(round(len(dev) * config.train_fraction)))
+    train, test = stratified_split(dev, n_train, seed=rng)
+
+    combos = list(combinations(range(len(config.ops)), config.combo_size))
+    if config.max_combos is not None and len(combos) > config.max_combos:
+        chosen = rng.choice(len(combos), size=config.max_combos, replace=False)
+        combos = [combos[int(i)] for i in chosen]
+
+    best: PolicySearchResult | None = None
+    all_scores: dict[tuple[str, ...], float] = {}
+    for combo in combos:
+        ops = tuple(config.ops[i] for i in combo)
+        mags = tuple(
+            tuple(random_magnitudes(op, config.n_magnitudes, rng)) for op in ops
+        )
+        augmented = _augment_patterns_with(
+            patterns, ops, mags, config.per_pattern_augment, rng
+        )
+        score = _score_combo(patterns, augmented, train, test, n_classes,
+                             task, config, matcher, rng)
+        key = tuple(op.name for op in ops)
+        all_scores[key] = score
+        if best is None or score > best.score:
+            best = PolicySearchResult(ops=ops, magnitudes=mags, score=score)
+    assert best is not None
+    best.all_scores = all_scores
+    return best
+
+
+def policy_augment(
+    patterns: list[Pattern],
+    result: PolicySearchResult,
+    n_patterns: int,
+    seed: int | np.random.Generator | None = 0,
+) -> list[Pattern]:
+    """Generate ``n_patterns`` new patterns with the winning combination."""
+    if n_patterns < 0:
+        raise ValueError(f"n_patterns must be >= 0, got {n_patterns}")
+    if not patterns:
+        raise ValueError("need source patterns to augment")
+    rng = as_rng(seed)
+    out: list[Pattern] = []
+    attempts = 0
+    while len(out) < n_patterns and attempts < 20 * n_patterns + 20:
+        attempts += 1
+        pattern = patterns[int(rng.integers(0, len(patterns)))]
+        steps = [
+            (op, mags[int(rng.integers(0, len(mags)))])
+            for op, mags in zip(result.ops, result.magnitudes)
+        ]
+        arr = apply_policy(pattern.array, steps)
+        if min(arr.shape) < 3:
+            continue
+        out.append(Pattern(array=arr, label=pattern.label, provenance="policy",
+                           source_image=pattern.source_image))
+    return out

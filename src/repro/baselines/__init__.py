@@ -1,0 +1,45 @@
+"""Baselines the paper compares against (Section 6.1).
+
+* :mod:`repro.baselines.snuba` — Snuba [Varma & Ré 2018]: automatic labeling-
+  function construction over primitives, combined by a generative model.
+* :mod:`repro.baselines.goggles` — GOGGLES [Das et al. 2020]: affinity coding
+  with a pre-trained feature extractor and clustering; uses no dev labels for
+  training (only to name clusters), hence constant accuracy in Figure 9.
+* :mod:`repro.baselines.self_learning` — CNNs (VGG-style heavy,
+  MobileNetV2-style light) trained on the development set alone.
+* :mod:`repro.baselines.transfer` — the same CNNs pre-trained on a pretext
+  corpus (our ImageNet stand-in) or on another defect dataset (Table 2),
+  then fine-tuned.
+"""
+
+from repro.baselines.cnn_zoo import (
+    CNNClassifier,
+    build_mobilenet,
+    build_resnet,
+    build_vgg,
+    preprocess_for_cnn,
+)
+from repro.baselines.goggles import GogglesConfig, GogglesLabeler
+from repro.baselines.heuristics import DecisionStump, LogisticRegression
+from repro.baselines.label_model import LabelModel
+from repro.baselines.self_learning import SelfLearningBaseline
+from repro.baselines.snuba import Snuba, SnubaConfig
+from repro.baselines.transfer import TransferLearningBaseline, pretrain_on_dataset
+
+__all__ = [
+    "CNNClassifier",
+    "build_vgg",
+    "build_mobilenet",
+    "build_resnet",
+    "preprocess_for_cnn",
+    "GogglesConfig",
+    "GogglesLabeler",
+    "DecisionStump",
+    "LogisticRegression",
+    "LabelModel",
+    "SelfLearningBaseline",
+    "Snuba",
+    "SnubaConfig",
+    "TransferLearningBaseline",
+    "pretrain_on_dataset",
+]

@@ -1,0 +1,71 @@
+"""K-means clustering (used by the GOGGLES baseline; no sklearn available)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["kmeans"]
+
+
+def _kmeans_pp_init(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by squared distance."""
+    n = x.shape[0]
+    centers = np.empty((k, x.shape[1]))
+    centers[0] = x[rng.integers(0, n)]
+    d2 = ((x - centers[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = d2.sum()
+        if total <= 0:
+            centers[i] = x[rng.integers(0, n)]
+            continue
+        probs = d2 / total
+        centers[i] = x[rng.choice(n, p=probs)]
+        d2 = np.minimum(d2, ((x - centers[i]) ** 2).sum(axis=1))
+    return centers
+
+
+def kmeans(
+    x: np.ndarray,
+    k: int,
+    seed: int | np.random.Generator | None = 0,
+    n_init: int = 4,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Lloyd's algorithm with k-means++ restarts.
+
+    Returns ``(assignments, centers, inertia)`` of the best restart.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got shape {x.shape}")
+    n = x.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = as_rng(seed)
+    best: tuple[np.ndarray, np.ndarray, float] | None = None
+    for _ in range(n_init):
+        centers = _kmeans_pp_init(x, k, rng)
+        assign = np.zeros(n, dtype=np.int64)
+        prev_inertia = np.inf
+        for _ in range(max_iter):
+            d2 = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            assign = d2.argmin(axis=1)
+            inertia = float(d2[np.arange(n), assign].sum())
+            for c in range(k):
+                members = x[assign == c]
+                if members.size:
+                    centers[c] = members.mean(axis=0)
+                else:
+                    # Re-seed empty clusters at the farthest point.
+                    far = int(d2.min(axis=1).argmax())
+                    centers[c] = x[far]
+            if prev_inertia - inertia < tol:
+                break
+            prev_inertia = inertia
+        if best is None or inertia < best[2]:
+            best = (assign.copy(), centers.copy(), inertia)
+    assert best is not None
+    return best

@@ -1,0 +1,156 @@
+"""GOGGLES reimplementation [Das et al., SIGMOD 2020].
+
+GOGGLES labels images *without* crowdsourcing: a pre-trained CNN supplies
+semantic prototypes (feature vectors at the most-activated locations of its
+feature maps); images are compared through a prototype affinity function and
+clustered; a handful of labeled examples then name the clusters.  Because no
+dev labels enter training, its accuracy is constant as the dev set grows —
+the flat GOGGLES lines of Figure 9.
+
+Our pre-trained backbone is the pretext-corpus CNN (see
+:mod:`repro.baselines.transfer`), standing in for GOGGLES' VGG-16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.clustering import kmeans
+from repro.baselines.cnn_zoo import CNNClassifier
+from repro.datasets.base import Dataset
+from repro.utils.rng import as_rng
+
+__all__ = ["GogglesConfig", "GogglesLabeler"]
+
+
+def _assign_clusters(votes: np.ndarray) -> np.ndarray:
+    """Greedy one-to-one cluster -> class mapping maximizing vote mass.
+
+    With as many clusters as classes, a many-to-one mapping would silence a
+    class entirely (and zero its F1); greedy unique assignment on the vote
+    matrix prevents that degenerate collapse.
+    """
+    n_clusters, n_classes = votes.shape
+    mapping = np.full(n_clusters, -1, dtype=np.int64)
+    remaining_clusters = set(range(n_clusters))
+    remaining_classes = set(range(n_classes))
+    order = np.dstack(np.unravel_index(np.argsort(votes, axis=None)[::-1],
+                                       votes.shape))[0]
+    for cluster, cls in order:
+        if cluster in remaining_clusters and cls in remaining_classes:
+            mapping[cluster] = cls
+            remaining_clusters.discard(int(cluster))
+            remaining_classes.discard(int(cls))
+    leftovers = sorted(remaining_classes)
+    for cluster in sorted(remaining_clusters):
+        mapping[cluster] = leftovers.pop(0) if leftovers else int(
+            votes.sum(axis=0).argmax()
+        )
+    return mapping
+
+
+@dataclass(frozen=True)
+class GogglesConfig:
+    """``n_prototypes`` per image; ``mapping_examples`` is how many labeled
+    examples per class are used to name clusters (GOGGLES' small seed set)."""
+
+    n_prototypes: int = 5
+    mapping_examples: int = 4
+    kmeans_restarts: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_prototypes < 1:
+            raise ValueError("n_prototypes must be >= 1")
+        if self.mapping_examples < 1:
+            raise ValueError("mapping_examples must be >= 1")
+
+
+class GogglesLabeler:
+    """Affinity coding: prototypes -> affinity matrix -> clusters -> labels."""
+
+    def __init__(
+        self,
+        backbone: CNNClassifier,
+        config: GogglesConfig | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        self.backbone = backbone
+        self.config = config or GogglesConfig()
+        self._rng = as_rng(seed)
+
+    # -- prototype extraction --------------------------------------------------
+
+    def _prototypes(self, dataset: Dataset) -> np.ndarray:
+        """Per-image prototype matrix of shape (n, k, C).
+
+        For each image, find the ``k`` feature-map channels with the highest
+        peak activation; at each such channel's argmax location, read the
+        full cross-channel feature column as one prototype vector.
+        """
+        maps = self.backbone.feature_maps(dataset)  # (n, C, H, W)
+        n, c, h, w = maps.shape
+        k = min(self.config.n_prototypes, c)
+        flat = maps.reshape(n, c, h * w)
+        peak_val = flat.max(axis=2)  # (n, C)
+        peak_pos = flat.argmax(axis=2)  # (n, C)
+        protos = np.empty((n, k, c))
+        for i in range(n):
+            top_channels = np.argsort(peak_val[i])[::-1][:k]
+            for slot, ch in enumerate(top_channels):
+                pos = peak_pos[i, ch]
+                y, x = divmod(int(pos), w)
+                protos[i, slot] = maps[i, :, y, x]
+        norms = np.linalg.norm(protos, axis=2, keepdims=True)
+        return protos / np.maximum(norms, 1e-12)
+
+    def _affinity(self, protos: np.ndarray, block: int = 64) -> np.ndarray:
+        """Affinity[i, j] = max cosine similarity over prototype pairs."""
+        n, k, c = protos.shape
+        aff = np.empty((n, n))
+        flat = protos.reshape(n * k, c)
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            sims = flat[start * k : stop * k] @ flat.T  # (b*k, n*k)
+            sims = sims.reshape(stop - start, k, n, k)
+            aff[start:stop] = sims.max(axis=(1, 3))
+        return aff
+
+    # -- labeling ---------------------------------------------------------------
+
+    def fit_predict(self, dataset: Dataset, dev: Dataset) -> np.ndarray:
+        """Cluster ``dataset`` and name clusters with a few dev examples.
+
+        ``dev`` must be a subset of ``dataset``'s population statistically —
+        only ``mapping_examples`` labels per class are consumed.
+        """
+        cfg = self.config
+        protos = self._prototypes(dataset)
+        affinity = self._affinity(protos)
+        n_clusters = dataset.n_classes
+        assign, _, _ = kmeans(affinity, n_clusters, seed=self._rng,
+                              n_init=cfg.kmeans_restarts)
+
+        # Name clusters using a few labeled dev examples: classify each dev
+        # image into its nearest cluster (via affinity to cluster members),
+        # then give every cluster the majority class of its dev examples.
+        dev_protos = self._prototypes(dev)
+        n_dev = len(dev)
+        labels = dev.labels
+        rng = self._rng
+        chosen: list[int] = []
+        for c in np.unique(labels):
+            members = np.flatnonzero(labels == c)
+            take = min(cfg.mapping_examples, members.size)
+            chosen.extend(rng.choice(members, size=take, replace=False))
+        votes = np.zeros((n_clusters, dataset.n_classes))
+        flat_all = protos.reshape(len(dataset) * protos.shape[1], -1)
+        for idx in chosen:
+            p = dev_protos[idx].reshape(-1, dev_protos.shape[2])
+            sims = p @ flat_all.T
+            sims = sims.reshape(p.shape[0], len(dataset), protos.shape[1])
+            per_image = sims.max(axis=(0, 2))
+            cluster = assign[int(per_image.argmax())]
+            votes[cluster, labels[idx]] += 1
+        return _assign_clusters(votes)[assign]

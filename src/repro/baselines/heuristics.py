@@ -1,0 +1,154 @@
+"""Small heuristic models used by Snuba as labeling functions.
+
+Snuba trains cheap models over subsets of primitives; the original uses
+decision stumps and logistic regression.  Both are implemented here from
+scratch (no sklearn in this environment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+__all__ = ["DecisionStump", "LogisticRegression"]
+
+
+class DecisionStump:
+    """One-feature threshold classifier chosen by balanced accuracy.
+
+    Fits a threshold on a single input column (Snuba's subset size 1 case)
+    or the best column of a multi-column input.  Probability outputs are a
+    smooth logistic ramp around the threshold so that Snuba can derive
+    abstain bands from confidence.
+    """
+
+    def __init__(self) -> None:
+        self.feature_: int | None = None
+        self.threshold_: float | None = None
+        self.polarity_: int = 1
+        self.sharpness_: float = 1.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionStump":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64).reshape(-1)
+        if x.ndim != 2 or x.shape[0] != y.size:
+            raise ValueError(f"bad shapes: x {x.shape}, y {y.shape}")
+        if set(np.unique(y)) - {0, 1}:
+            raise ValueError("DecisionStump supports binary {0,1} labels")
+        best = (-np.inf, 0, 0.0, 1)
+        pos = y == 1
+        neg = ~pos
+        n_pos = max(pos.sum(), 1)
+        n_neg = max(neg.sum(), 1)
+        for j in range(x.shape[1]):
+            col = x[:, j]
+            candidates = np.unique(col)
+            if candidates.size > 32:
+                candidates = np.quantile(col, np.linspace(0.02, 0.98, 32))
+            for t in candidates:
+                above = col > t
+                # Balanced accuracy for ">" polarity.
+                bal = 0.5 * ((above & pos).sum() / n_pos
+                             + (~above & neg).sum() / n_neg)
+                if bal > best[0]:
+                    best = (bal, j, float(t), 1)
+                bal_inv = 1.0 - bal
+                if bal_inv > best[0]:
+                    best = (bal_inv, j, float(t), -1)
+        _, self.feature_, self.threshold_, self.polarity_ = best
+        spread = float(np.std(x[:, self.feature_])) or 1.0
+        self.sharpness_ = 4.0 / spread
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.feature_ is None:
+            raise RuntimeError("stump must be fit first")
+        col = np.asarray(x, dtype=np.float64)[:, self.feature_]
+        z = self.polarity_ * self.sharpness_ * (col - self.threshold_)
+        p1 = 1.0 / (1.0 + np.exp(-np.clip(z, -50, 50)))
+        return np.stack([1 - p1, p1], axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x)[:, 1] > 0.5).astype(np.int64)
+
+
+class LogisticRegression:
+    """L2-regularized logistic regression trained with L-BFGS.
+
+    Supports binary (sigmoid) and multi-class (softmax) targets.
+    """
+
+    def __init__(self, l2: float = 1e-3, max_iter: int = 200):
+        if l2 < 0:
+            raise ValueError("l2 must be >= 0")
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.coef_: np.ndarray | None = None  # (d, k) or (d,)
+        self.intercept_: np.ndarray | None = None
+        self.n_classes_: int = 2
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64).reshape(-1)
+        if x.ndim != 2 or x.shape[0] != y.size:
+            raise ValueError(f"bad shapes: x {x.shape}, y {y.shape}")
+        self.n_classes_ = int(y.max()) + 1 if y.size else 2
+        self.n_classes_ = max(self.n_classes_, 2)
+        d = x.shape[1]
+        if self.n_classes_ == 2:
+            w0 = np.zeros(d + 1)
+
+            def obj(w):
+                z = x @ w[:d] + w[d]
+                loss = np.mean(np.logaddexp(0.0, z) - y * z)
+                p = 1.0 / (1.0 + np.exp(-np.clip(z, -50, 50)))
+                g_z = (p - y) / y.size
+                grad = np.concatenate([x.T @ g_z, [g_z.sum()]])
+                loss += 0.5 * self.l2 * w[:d] @ w[:d]
+                grad[:d] += self.l2 * w[:d]
+                return loss, grad
+
+            res = optimize.minimize(obj, w0, jac=True, method="L-BFGS-B",
+                                    options={"maxiter": self.max_iter})
+            self.coef_ = res.x[:d]
+            self.intercept_ = np.array([res.x[d]])
+        else:
+            k = self.n_classes_
+            w0 = np.zeros((d + 1) * k)
+            onehot = np.eye(k)[y]
+
+            def obj(wflat):
+                w = wflat.reshape(d + 1, k)
+                z = x @ w[:d] + w[d]
+                z -= z.max(axis=1, keepdims=True)
+                e = np.exp(z)
+                p = e / e.sum(axis=1, keepdims=True)
+                loss = -np.mean(np.log(p[np.arange(y.size), y] + 1e-12))
+                g_z = (p - onehot) / y.size
+                grad = np.vstack([x.T @ g_z, g_z.sum(axis=0)])
+                loss += 0.5 * self.l2 * float((w[:d] ** 2).sum())
+                grad[:d] += self.l2 * w[:d]
+                return loss, grad.ravel()
+
+            res = optimize.minimize(obj, w0, jac=True, method="L-BFGS-B",
+                                    options={"maxiter": self.max_iter})
+            w = res.x.reshape(d + 1, k)
+            self.coef_ = w[:d]
+            self.intercept_ = w[d]
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model must be fit first")
+        x = np.asarray(x, dtype=np.float64)
+        if self.n_classes_ == 2:
+            z = x @ self.coef_ + self.intercept_[0]
+            p1 = 1.0 / (1.0 + np.exp(-np.clip(z, -50, 50)))
+            return np.stack([1 - p1, p1], axis=1)
+        z = x @ self.coef_ + self.intercept_
+        z -= z.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=1)

@@ -1,0 +1,128 @@
+"""Generative label model: combine noisy labeling functions with abstains.
+
+The Snorkel/Snuba family combines LF votes by learning per-LF accuracies
+under a conditional-independence assumption.  This implementation uses EM:
+
+* E-step: posterior over the true label given votes and current accuracies.
+* M-step: each LF's accuracy is re-estimated from the posterior mass it
+  agrees with, over the examples where it did not abstain.
+
+Votes use -1 for abstain and {0..K-1} for class votes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LabelModel"]
+
+ABSTAIN = -1
+
+
+class LabelModel:
+    """EM-trained weighted vote over labeling-function outputs."""
+
+    def __init__(self, n_classes: int = 2, n_iter: int = 25,
+                 prior_strength: float = 2.0):
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        if n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        self.n_classes = n_classes
+        self.n_iter = n_iter
+        self.prior_strength = prior_strength
+        self.accuracies_: np.ndarray | None = None
+        self.class_prior_: np.ndarray | None = None
+
+    def _check_votes(self, votes: np.ndarray) -> np.ndarray:
+        votes = np.asarray(votes, dtype=np.int64)
+        if votes.ndim != 2:
+            raise ValueError(f"votes must be (n, m), got shape {votes.shape}")
+        if votes.max(initial=ABSTAIN) >= self.n_classes or votes.min(initial=0) < ABSTAIN:
+            raise ValueError("votes must lie in {-1} U [0, n_classes)")
+        return votes
+
+    def _posterior(self, votes: np.ndarray, acc: np.ndarray,
+                   prior: np.ndarray) -> np.ndarray:
+        """P(y | votes) under conditional independence, in log space."""
+        n, m = votes.shape
+        k = self.n_classes
+        log_post = np.tile(np.log(prior + 1e-12), (n, 1))
+        wrong = (1.0 - acc) / (k - 1)
+        for j in range(m):
+            vj = votes[:, j]
+            active = vj != ABSTAIN
+            if not active.any():
+                continue
+            contrib = np.full((n, k), 0.0)
+            # log P(vote_j | y): acc if vote == y else (1-acc)/(k-1)
+            lp_match = np.log(acc[j] + 1e-12)
+            lp_miss = np.log(wrong[j] + 1e-12)
+            rows = np.flatnonzero(active)
+            contrib[rows, :] = lp_miss
+            contrib[rows, vj[rows]] = lp_match
+            log_post += contrib
+        log_post -= log_post.max(axis=1, keepdims=True)
+        post = np.exp(log_post)
+        return post / post.sum(axis=1, keepdims=True)
+
+    def fit(
+        self,
+        votes: np.ndarray,
+        init_accuracies: np.ndarray | None = None,
+        init_prior: np.ndarray | None = None,
+    ) -> "LabelModel":
+        """Learn LF accuracies from an unlabeled vote matrix (n, m).
+
+        ``init_accuracies``/``init_prior`` seed EM with estimates measured on
+        a labeled development set when available (Snuba has one); a good
+        initialization keeps EM from converging to a label-swapped or
+        majority-collapsed solution on heavily imbalanced data.
+        """
+        votes = self._check_votes(votes)
+        n, m = votes.shape
+        k = self.n_classes
+        if init_accuracies is not None:
+            acc = np.clip(np.asarray(init_accuracies, dtype=np.float64), 0.05, 0.95)
+            if acc.shape != (m,):
+                raise ValueError(f"init_accuracies must have shape ({m},)")
+        else:
+            acc = np.full(m, 0.7)
+        if init_prior is not None:
+            prior = np.asarray(init_prior, dtype=np.float64)
+            if prior.shape != (k,):
+                raise ValueError(f"init_prior must have shape ({k},)")
+            prior = prior / prior.sum()
+        else:
+            prior = np.full(k, 1.0 / k)
+        self._anchor_acc = acc.copy()
+        for _ in range(self.n_iter):
+            post = self._posterior(votes, acc, prior)
+            # M-step with pseudo-counts pulling each accuracy toward its
+            # anchor (the dev-measured value when provided, else 0.7).
+            new_acc = np.empty(m)
+            for j in range(m):
+                active = votes[:, j] != ABSTAIN
+                if not active.any():
+                    new_acc[j] = self._anchor_acc[j]
+                    continue
+                agree = post[active, votes[active, j]].sum()
+                total = active.sum()
+                new_acc[j] = (agree + self._anchor_acc[j] * self.prior_strength) / (
+                    total + self.prior_strength
+                )
+            acc = np.clip(new_acc, 0.05, 0.95)
+            prior = post.mean(axis=0)
+            prior = prior / prior.sum()
+        self.accuracies_ = acc
+        self.class_prior_ = prior
+        return self
+
+    def predict_proba(self, votes: np.ndarray) -> np.ndarray:
+        if self.accuracies_ is None:
+            raise RuntimeError("label model must be fit first")
+        votes = self._check_votes(votes)
+        return self._posterior(votes, self.accuracies_, self.class_prior_)
+
+    def predict(self, votes: np.ndarray) -> np.ndarray:
+        return self.predict_proba(votes).argmax(axis=1)

@@ -1,0 +1,196 @@
+"""Snuba reimplementation [Varma & Ré, PVLDB 2018].
+
+Snuba automates labeling-function construction: starting from primitives
+(here, exactly Inspector Gadget's FGF similarities, as the paper does "to be
+favorable to Snuba"), it iteratively
+
+1. trains heuristic models on every primitive subset up to a size limit,
+2. picks the heuristic that best balances accuracy (F1 on the labeled dev
+   set) and diversity (low Jaccard overlap with already-covered examples),
+3. equips it with an abstain band (examples with low confidence abstain),
+
+and finally combines all heuristics' votes on unlabeled data with a
+generative label model.  The iteration over all subsets is what makes its
+runtime blow up with many patterns — the behaviour Section 6.2 observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from repro.baselines.heuristics import DecisionStump, LogisticRegression
+from repro.baselines.label_model import ABSTAIN, LabelModel
+from repro.eval.metrics import f1_score
+
+__all__ = ["SnubaConfig", "Snuba", "SnubaHeuristic"]
+
+
+@dataclass(frozen=True)
+class SnubaConfig:
+    """``max_subset_size`` bounds the primitive subsets (Snuba's default 1);
+    ``max_heuristics`` bounds committee size; ``n_beta`` is how many abstain
+    thresholds are scanned; ``min_new_coverage`` stops the loop when a new
+    heuristic labels too few previously-uncovered dev examples."""
+
+    max_subset_size: int = 1
+    max_heuristics: int = 12
+    heuristic_model: str = "stump"  # or "logreg"
+    n_beta: int = 10
+    min_new_coverage: float = 0.02
+    diversity_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_subset_size < 1:
+            raise ValueError("max_subset_size must be >= 1")
+        if self.max_heuristics < 1:
+            raise ValueError("max_heuristics must be >= 1")
+        if self.heuristic_model not in ("stump", "logreg"):
+            raise ValueError("heuristic_model must be 'stump' or 'logreg'")
+
+
+@dataclass
+class SnubaHeuristic:
+    """A trained heuristic: model over a primitive subset plus abstain band.
+
+    ``min_confidence`` = 1/K + beta: a vote is cast only when the winning
+    class probability beats the uniform baseline by the abstain margin
+    (for binary tasks this is the familiar 0.5 + beta band).
+    """
+
+    features: tuple[int, ...]
+    model: object
+    min_confidence: float
+
+    def vote(self, x: np.ndarray) -> np.ndarray:
+        """Class votes with -1 = abstain, given the full primitive matrix."""
+        probs = self.model.predict_proba(x[:, self.features])
+        conf = probs.max(axis=1)
+        labels = probs.argmax(axis=1)
+        out = np.where(conf >= self.min_confidence, labels, ABSTAIN)
+        return out.astype(np.int64)
+
+
+class Snuba:
+    """The Snuba loop over a primitive matrix."""
+
+    def __init__(self, config: SnubaConfig | None = None, n_classes: int = 2,
+                 task: str = "binary"):
+        self.config = config or SnubaConfig()
+        self.n_classes = n_classes
+        self.task = task
+        self.heuristics: list[SnubaHeuristic] = []
+        self.label_model: LabelModel | None = None
+
+    # -- heuristic construction ----------------------------------------------
+
+    def _make_model(self):
+        if self.config.heuristic_model == "stump" and self.n_classes == 2:
+            return DecisionStump()
+        return LogisticRegression(max_iter=80)
+
+    def _candidate_subsets(self, n_features: int) -> list[tuple[int, ...]]:
+        subsets: list[tuple[int, ...]] = []
+        for size in range(1, self.config.max_subset_size + 1):
+            subsets.extend(combinations(range(n_features), size))
+        return subsets
+
+    def _best_beta(self, probs: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        """Scan abstain margins; return (min_confidence, F1-on-covered).
+
+        Margins are relative to the uniform baseline 1/K so multi-class
+        heuristics (whose peak probabilities rarely reach 0.5) still vote.
+        """
+        baseline = 1.0 / self.n_classes
+        best_conf, best_f1 = baseline, -1.0
+        labels = probs.argmax(axis=1)
+        conf = probs.max(axis=1)
+        max_margin = (1.0 - baseline) * 0.9
+        for beta in np.linspace(0.0, max_margin, self.config.n_beta):
+            covered = conf >= baseline + beta
+            if covered.sum() < 2:
+                continue
+            f1 = f1_score(y[covered], labels[covered], task=self.task)
+            if f1 > best_f1:
+                best_conf, best_f1 = float(baseline + beta), f1
+        return best_conf, best_f1
+
+    def fit(self, x_dev: np.ndarray, y_dev: np.ndarray) -> "Snuba":
+        """Run the heuristic-generation loop on the labeled dev set."""
+        x_dev = np.asarray(x_dev, dtype=np.float64)
+        y_dev = np.asarray(y_dev, dtype=np.int64).reshape(-1)
+        if x_dev.ndim != 2 or x_dev.shape[0] != y_dev.size:
+            raise ValueError(f"bad shapes: x {x_dev.shape}, y {y_dev.shape}")
+        cfg = self.config
+        n, p = x_dev.shape
+        covered = np.zeros(n, dtype=bool)
+        self.heuristics = []
+        subsets = self._candidate_subsets(p)
+        for _ in range(cfg.max_heuristics):
+            best: tuple[float, SnubaHeuristic, np.ndarray] | None = None
+            for subset in subsets:
+                model = self._make_model()
+                model.fit(x_dev[:, subset], y_dev)
+                probs = model.predict_proba(x_dev[:, subset])
+                min_conf, f1 = self._best_beta(probs, y_dev)
+                if f1 < 0:
+                    continue
+                heuristic = SnubaHeuristic(features=subset, model=model,
+                                           min_confidence=min_conf)
+                votes = heuristic.vote(x_dev)
+                active = votes != ABSTAIN
+                if not active.any():
+                    continue
+                overlap = (active & covered).sum() / max(active.sum(), 1)
+                score = f1 - cfg.diversity_weight * overlap
+                if best is None or score > best[0]:
+                    best = (score, heuristic, active)
+            if best is None:
+                break
+            _, heuristic, active = best
+            new_coverage = (active & ~covered).sum() / n
+            if self.heuristics and new_coverage < cfg.min_new_coverage:
+                break
+            self.heuristics.append(heuristic)
+            covered |= active
+            if covered.all():
+                break
+        if not self.heuristics:
+            raise RuntimeError("Snuba failed to construct any heuristic")
+        # Combine the heuristics with a generative model seeded by their
+        # dev-measured accuracies and the dev class prior (Snuba has the
+        # labeled dev set available, so there is no reason to start EM blind).
+        votes_dev = self.vote_matrix(x_dev)
+        accuracies = np.empty(votes_dev.shape[1])
+        for j in range(votes_dev.shape[1]):
+            active = votes_dev[:, j] != ABSTAIN
+            if active.any():
+                accuracies[j] = float(
+                    (votes_dev[active, j] == y_dev[active]).mean()
+                )
+            else:
+                accuracies[j] = 0.5
+        prior = np.bincount(y_dev, minlength=self.n_classes).astype(np.float64)
+        prior = np.maximum(prior, 1.0)
+        self.label_model = LabelModel(n_classes=self.n_classes,
+                                      prior_strength=10.0)
+        self.label_model.fit(votes_dev, init_accuracies=accuracies,
+                             init_prior=prior / prior.sum())
+        return self
+
+    # -- inference -----------------------------------------------------------
+
+    def vote_matrix(self, x: np.ndarray) -> np.ndarray:
+        if not self.heuristics:
+            raise RuntimeError("Snuba must be fit first")
+        return np.stack([h.vote(x) for h in self.heuristics], axis=1)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.label_model is None:
+            raise RuntimeError("Snuba must be fit first")
+        return self.label_model.predict_proba(self.vote_matrix(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=1)

@@ -1,0 +1,11 @@
+"""The Inspector Gadget pipeline (the paper's primary contribution).
+
+Combines the crowdsourcing workflow, pattern augmenter, feature generator
+and tuned MLP labeler into one system that turns an unlabeled image pool
+plus a small annotation budget into weak labels at scale (Figures 2-3).
+"""
+
+from repro.core.config import InspectorGadgetConfig
+from repro.core.pipeline import FitReport, InspectorGadget
+
+__all__ = ["InspectorGadget", "InspectorGadgetConfig", "FitReport"]

@@ -1,0 +1,38 @@
+"""Top-level configuration for the Inspector Gadget pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.augment.augmenter import AugmentConfig
+from repro.crowd.workflow import WorkflowConfig
+from repro.imaging.pyramid import PyramidMatcher
+
+__all__ = ["InspectorGadgetConfig"]
+
+
+@dataclass
+class InspectorGadgetConfig:
+    """All pipeline knobs in one place.
+
+    ``tune_max_layers`` / ``tune_min_per_class`` parameterize the labeler
+    architecture search (Section 5.2); ``labeler_max_iter`` bounds each
+    L-BFGS run.  Set ``tune`` to False to skip model tuning and train a
+    single default MLP (used by the Figure 11 ablation).
+    """
+
+    workflow: WorkflowConfig = field(default_factory=WorkflowConfig)
+    augment: AugmentConfig = field(default_factory=AugmentConfig)
+    matcher: PyramidMatcher = field(default_factory=PyramidMatcher)
+    tune: bool = True
+    tune_max_layers: int = 3
+    tune_min_per_class: int = 20
+    labeler_max_iter: int = 150
+    default_hidden: tuple[int, ...] = (8,)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tune_max_layers < 1:
+            raise ValueError("tune_max_layers must be >= 1")
+        if self.labeler_max_iter < 1:
+            raise ValueError("labeler_max_iter must be >= 1")

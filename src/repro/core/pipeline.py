@@ -1,0 +1,154 @@
+"""The Inspector Gadget pipeline: fit on an image pool, emit weak labels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.augment.augmenter import PatternAugmenter
+from repro.core.config import InspectorGadgetConfig
+from repro.crowd.workflow import CrowdResult, CrowdsourcingWorkflow
+from repro.datasets.base import Dataset
+from repro.features.generator import FeatureGenerator
+from repro.labeler.mlp import MLPLabeler
+from repro.labeler.tuning import TuningResult, tune_labeler
+from repro.labeler.weak_labels import WeakLabels
+from repro.utils.rng import as_rng
+
+__all__ = ["InspectorGadget", "FitReport"]
+
+
+@dataclass
+class FitReport:
+    """What happened during :meth:`InspectorGadget.fit`."""
+
+    dev_size: int
+    dev_defective: int
+    n_crowd_patterns: int
+    n_total_patterns: int
+    chosen_architecture: tuple[int, ...]
+    dev_cv_f1: float | None
+
+
+class InspectorGadget:
+    """End-to-end weak labeling system (Figure 3).
+
+    Typical use::
+
+        ig = InspectorGadget(config)
+        report = ig.fit(dataset)        # crowdsource + augment + train labeler
+        weak = ig.predict(unlabeled)    # WeakLabels for new images
+
+    After fitting, only the feature generator (patterns) and labeler are
+    needed for labeling — matching the components highlighted in the paper's
+    architecture figure.
+    """
+
+    def __init__(self, config: InspectorGadgetConfig | None = None):
+        self.config = config or InspectorGadgetConfig()
+        self._rng = as_rng(self.config.seed)
+        self.crowd_result: CrowdResult | None = None
+        self.feature_generator: FeatureGenerator | None = None
+        self.labeler: MLPLabeler | None = None
+        self.tuning: TuningResult | None = None
+        self._n_classes: int | None = None
+        self._task: str | None = None
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit(self, dataset: Dataset, dev_budget: int | None = None) -> FitReport:
+        """Run the full pipeline on ``dataset``.
+
+        ``dev_budget`` switches the crowd workflow from "annotate until the
+        defective target is met" to "annotate exactly this many images"
+        (the controlled variable in Figure 9's sweeps).
+        """
+        workflow = CrowdsourcingWorkflow(self.config.workflow, seed=self._rng)
+        if dev_budget is None:
+            crowd = workflow.run(dataset)
+        else:
+            crowd = workflow.run_fixed(dataset, dev_budget)
+        if not crowd.patterns:
+            raise RuntimeError(
+                "crowdsourcing produced no patterns; increase the annotation "
+                "budget or check worker noise settings"
+            )
+        return self.fit_from_crowd(crowd, task=dataset.task,
+                                   n_classes=dataset.n_classes)
+
+    def fit_from_crowd(
+        self, crowd: CrowdResult, task: str, n_classes: int
+    ) -> FitReport:
+        """Fit augmentation, features and labeler from a finished crowd run.
+
+        Split out so ablation experiments can reuse one crowd result across
+        several augmentation/labeler settings without re-annotating.
+        """
+        self.crowd_result = crowd
+        self._task = task
+        self._n_classes = n_classes
+
+        augmenter = PatternAugmenter(self.config.augment, self.config.matcher,
+                                     seed=self._rng)
+        patterns = augmenter.augment(crowd.patterns, crowd.dev)
+
+        self.feature_generator = FeatureGenerator(patterns, self.config.matcher)
+        dev_features = self.feature_generator.transform(crowd.dev)
+        dev_labels = crowd.dev.labels
+
+        if self.config.tune:
+            self.tuning = tune_labeler(
+                dev_features.values,
+                dev_labels,
+                n_classes=n_classes,
+                task=task,
+                seed=self._rng,
+                max_layers=self.config.tune_max_layers,
+                min_per_class=self.config.tune_min_per_class,
+                max_iter=self.config.labeler_max_iter,
+            )
+            self.labeler = self.tuning.labeler
+            chosen = self.tuning.best_hidden
+            cv_f1 = self.tuning.best_score
+        else:
+            self.labeler = MLPLabeler(
+                input_dim=dev_features.values.shape[1],
+                hidden=self.config.default_hidden,
+                n_classes=n_classes,
+                seed=self._rng,
+                max_iter=self.config.labeler_max_iter,
+            )
+            self.labeler.fit(dev_features.values, dev_labels)
+            chosen = self.config.default_hidden
+            cv_f1 = None
+
+        return FitReport(
+            dev_size=len(crowd.dev),
+            dev_defective=crowd.dev.n_defective,
+            n_crowd_patterns=len(crowd.patterns),
+            n_total_patterns=len(patterns),
+            chosen_architecture=chosen,
+            dev_cv_f1=cv_f1,
+        )
+
+    # -- inference -----------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if self.feature_generator is None or self.labeler is None:
+            raise RuntimeError("InspectorGadget must be fit before predicting")
+
+    def predict(self, data: Dataset | list[np.ndarray]) -> WeakLabels:
+        """Weak labels for a dataset or a list of raw images."""
+        self._require_fitted()
+        if isinstance(data, Dataset):
+            features = self.feature_generator.transform(data)
+        else:
+            features = self.feature_generator.transform_images(data)
+        probs = self.labeler.predict_proba(features.values)
+        return WeakLabels(probs=probs)
+
+    def predict_features(self, features: np.ndarray) -> WeakLabels:
+        """Weak labels from precomputed FGF features (sweep fast path)."""
+        self._require_fitted()
+        return WeakLabels(probs=self.labeler.predict_proba(features))

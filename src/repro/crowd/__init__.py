@@ -1,0 +1,35 @@
+"""Simulated crowdsourcing workflow (Section 3 of the paper).
+
+Workers mark defects with bounding boxes through a UI; this package replaces
+the human side with a parametric noise model while keeping the system side —
+sampling until enough defective images are found, combining overlapping
+boxes, peer-reviewing outliers, and extracting patterns — exactly as the
+paper describes.  The Table 3 ablation (no averaging / no peer review / full
+workflow) toggles those stages through :class:`WorkflowConfig`.
+"""
+
+from repro.crowd.auto_proposals import (
+    AutoProposalConfig,
+    auto_annotate,
+    propose_boxes,
+)
+from repro.crowd.peer_review import PeerReviewConfig, peer_review
+from repro.crowd.workers import WorkerPool, WorkerProfile
+from repro.crowd.workflow import (
+    CrowdResult,
+    CrowdsourcingWorkflow,
+    WorkflowConfig,
+)
+
+__all__ = [
+    "AutoProposalConfig",
+    "auto_annotate",
+    "propose_boxes",
+    "WorkerProfile",
+    "WorkerPool",
+    "PeerReviewConfig",
+    "peer_review",
+    "WorkflowConfig",
+    "CrowdsourcingWorkflow",
+    "CrowdResult",
+]

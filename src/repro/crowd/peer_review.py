@@ -1,0 +1,58 @@
+"""Peer review of outlier bounding boxes.
+
+Boxes that did not overlap with any other worker's box ("outliers") are
+discussed by the crowd: each worker votes on whether the box really contains
+a defect, and the box survives only with majority approval.  Ground truth
+(whether the box overlaps a real defect) drives each worker's *probability*
+of voting correctly — the vote itself stays noisy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.base import LabeledImage
+from repro.imaging.boxes import BoundingBox
+from repro.utils.validation import check_probability
+
+__all__ = ["PeerReviewConfig", "peer_review"]
+
+
+@dataclass(frozen=True)
+class PeerReviewConfig:
+    """``min_true_overlap`` is the overlap fraction (intersection over the
+    outlier box's own area) above which a box is considered to truly contain
+    a defect for voting purposes."""
+
+    min_true_overlap: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_probability("min_true_overlap", self.min_true_overlap)
+
+
+def _covers_defect(box: BoundingBox, item: LabeledImage, threshold: float) -> bool:
+    if not item.defect_boxes:
+        return False
+    best = max(box.intersection_area(t) for t in item.defect_boxes)
+    return best / box.area >= threshold
+
+
+def peer_review(
+    outliers: list[BoundingBox],
+    item: LabeledImage,
+    pool,
+    config: PeerReviewConfig | None = None,
+) -> list[BoundingBox]:
+    """Return the subset of ``outliers`` that survives majority vote.
+
+    ``pool`` is a :class:`~repro.crowd.workers.WorkerPool`; its
+    ``review_votes`` method supplies one noisy vote per worker.
+    """
+    config = config or PeerReviewConfig()
+    accepted: list[BoundingBox] = []
+    for box in outliers:
+        truly_defective = _covers_defect(box, item, config.min_true_overlap)
+        votes = pool.review_votes(truly_defective)
+        if sum(votes) * 2 > len(votes):
+            accepted.append(box)
+    return accepted

@@ -1,0 +1,122 @@
+"""Simulated crowdworkers drawing defect bounding boxes.
+
+A worker sees an image's true defect boxes (the generator's ground truth —
+what a careful human would perceive) and reports noisy versions of them:
+jittered position, biased size, occasional misses, and occasional spurious
+boxes on defect-free regions.  Harder defects (lower contrast) are missed
+more often, mirroring real annotation behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import LabeledImage
+from repro.imaging.boxes import BoundingBox
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["WorkerProfile", "WorkerPool"]
+
+
+@dataclass(frozen=True)
+class WorkerProfile:
+    """Noise characteristics of one simulated crowdworker.
+
+    ``jitter`` scales coordinate noise relative to the defect size;
+    ``size_bias_sigma`` is the log-std of the multiplicative box-size error;
+    ``miss_rate`` is the base probability of overlooking a defect (scaled up
+    for low-contrast defects); ``spurious_rate`` is the per-image probability
+    of drawing a box on a defect-free region.
+    """
+
+    jitter: float = 0.15
+    size_bias_sigma: float = 0.2
+    miss_rate: float = 0.1
+    spurious_rate: float = 0.08
+    review_accuracy: float = 0.85
+
+    def __post_init__(self) -> None:
+        check_positive("jitter", self.jitter, strict=False)
+        check_positive("size_bias_sigma", self.size_bias_sigma, strict=False)
+        check_probability("miss_rate", self.miss_rate)
+        check_probability("spurious_rate", self.spurious_rate)
+        check_probability("review_accuracy", self.review_accuracy)
+
+    def annotate(
+        self,
+        item: LabeledImage,
+        rng: np.random.Generator,
+    ) -> list[BoundingBox]:
+        """Return this worker's boxes for one image."""
+        h, w = item.shape
+        boxes: list[BoundingBox] = []
+        for true_box in item.defect_boxes:
+            # Low-contrast defects are missed more often: the effective miss
+            # rate interpolates toward 1 as difficulty falls below ~0.3.
+            visibility = min(1.0, item.difficulty / 0.3)
+            effective_miss = self.miss_rate + (1.0 - visibility) * 0.5
+            if rng.random() < effective_miss:
+                continue
+            dy = rng.normal(0.0, self.jitter * true_box.height)
+            dx = rng.normal(0.0, self.jitter * true_box.width)
+            sh = float(np.exp(rng.normal(0.0, self.size_bias_sigma)))
+            sw = float(np.exp(rng.normal(0.0, self.size_bias_sigma)))
+            new_h = max(2.0, true_box.height * sh)
+            new_w = max(2.0, true_box.width * sw)
+            cy, cx = true_box.center
+            noisy = BoundingBox(
+                y=cy + dy - new_h / 2.0,
+                x=cx + dx - new_w / 2.0,
+                height=new_h,
+                width=new_w,
+            ).clip_to((h, w))
+            boxes.append(noisy)
+        if rng.random() < self.spurious_rate:
+            # A spurious box roughly the size of a typical defect, anywhere.
+            sp_h = float(rng.uniform(3, max(4, h // 4)))
+            sp_w = float(rng.uniform(3, max(4, w // 4)))
+            sp = BoundingBox(
+                y=rng.uniform(0, max(1, h - sp_h)),
+                x=rng.uniform(0, max(1, w - sp_w)),
+                height=sp_h,
+                width=sp_w,
+            ).clip_to((h, w))
+            boxes.append(sp)
+        return boxes
+
+
+class WorkerPool:
+    """A fixed roster of workers, each with an independent random stream."""
+
+    def __init__(
+        self,
+        n_workers: int = 3,
+        profile: WorkerProfile | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.profile = profile or WorkerProfile()
+        self._rngs = spawn_rngs(as_rng(seed), n_workers)
+
+    def __len__(self) -> int:
+        return len(self._rngs)
+
+    def annotate_image(self, item: LabeledImage) -> list[list[BoundingBox]]:
+        """All workers annotate one image; returns per-worker box lists."""
+        return [self.profile.annotate(item, rng) for rng in self._rngs]
+
+    def review_votes(self, is_true_defect: bool) -> list[bool]:
+        """Each worker votes whether an outlier box really contains a defect.
+
+        A worker answers correctly with probability ``review_accuracy``.
+        """
+        acc = self.profile.review_accuracy
+        votes = []
+        for rng in self._rngs:
+            correct = rng.random() < acc
+            votes.append(is_true_defect if correct else not is_true_defect)
+        return votes

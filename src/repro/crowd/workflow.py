@@ -1,0 +1,197 @@
+"""The crowdsourcing workflow: sampling, annotation, combining, review.
+
+Implements Figure 4 of the paper: workers box defects in randomly sampled
+images until enough defective images have been seen; overlapping boxes are
+combined (averaged); outlier boxes go through peer review; the surviving
+boxes are cropped into patterns; all annotated images form the development
+set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crowd.peer_review import PeerReviewConfig, peer_review
+from repro.crowd.workers import WorkerPool, WorkerProfile
+from repro.datasets.base import Dataset, LabeledImage
+from repro.imaging.boxes import BoundingBox, combine_boxes, group_overlapping
+from repro.patterns import Pattern
+from repro.utils.rng import as_rng
+
+__all__ = ["WorkflowConfig", "CrowdResult", "CrowdsourcingWorkflow"]
+
+# Patterns smaller than this on either side carry no texture information and
+# make NCC degenerate; the workflow discards them.
+_MIN_PATTERN_SIDE = 3
+
+
+@dataclass(frozen=True)
+class WorkflowConfig:
+    """Workflow knobs; the Table 3 ablation toggles ``combine_overlapping``
+    and ``use_peer_review``.
+
+    ``target_defective`` stops sampling once this many defective images have
+    been annotated ("identifying tens of defective images is sufficient");
+    ``max_images`` optionally caps the annotation budget regardless.
+    """
+
+    n_workers: int = 3
+    target_defective: int = 10
+    max_images: int | None = None
+    iou_threshold: float = 0.2
+    combine_strategy: str = "average"
+    combine_overlapping: bool = True
+    use_peer_review: bool = True
+    worker_profile: WorkerProfile = field(default_factory=WorkerProfile)
+    review: PeerReviewConfig = field(default_factory=PeerReviewConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.target_defective < 1:
+            raise ValueError("target_defective must be >= 1")
+        if self.max_images is not None and self.max_images < 1:
+            raise ValueError("max_images must be >= 1 when given")
+
+
+@dataclass
+class CrowdResult:
+    """Outcome of one workflow run.
+
+    ``dev_indices`` index into the source dataset; ``dev`` is the annotated
+    development set (gold labels — the paper treats dev labels as reliable
+    after review); ``patterns`` are the extracted defect crops.
+    """
+
+    dev_indices: list[int]
+    dev: Dataset
+    patterns: list[Pattern]
+    n_raw_boxes: int
+    n_combined: int
+    n_outliers: int
+    n_review_rejected: int
+
+
+class CrowdsourcingWorkflow:
+    """Runs the full annotate → combine → review → extract pipeline."""
+
+    def __init__(
+        self,
+        config: WorkflowConfig | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        self.config = config or WorkflowConfig()
+        self._rng = as_rng(seed)
+        self._pool = WorkerPool(
+            n_workers=self.config.n_workers,
+            profile=self.config.worker_profile,
+            seed=self._rng,
+        )
+
+    # -- box processing for one image ---------------------------------------
+
+    def _process_image_boxes(
+        self, item: LabeledImage, per_worker: list[list[BoundingBox]]
+    ) -> tuple[list[BoundingBox], int, int, int]:
+        """Combine/review one image's worker boxes.
+
+        Returns (kept boxes, n_combined_groups, n_outliers, n_rejected).
+        """
+        cfg = self.config
+        all_boxes = [b for boxes in per_worker for b in boxes]
+        if not all_boxes:
+            return [], 0, 0, 0
+        if not cfg.combine_overlapping:
+            # Ablation "No avg.": every raw worker box becomes a candidate.
+            return all_boxes, 0, 0, 0
+        groups = group_overlapping(all_boxes, cfg.iou_threshold)
+        kept: list[BoundingBox] = []
+        outliers: list[BoundingBox] = []
+        n_combined = 0
+        for group in groups:
+            members = [all_boxes[i] for i in group]
+            if len(members) >= 2:
+                kept.append(combine_boxes(members, cfg.combine_strategy))
+                n_combined += 1
+            else:
+                outliers.append(members[0])
+        n_rejected = 0
+        if cfg.use_peer_review and outliers:
+            accepted = peer_review(outliers, item, self._pool, cfg.review)
+            n_rejected = len(outliers) - len(accepted)
+            kept.extend(accepted)
+        else:
+            kept.extend(outliers)
+        return kept, n_combined, len(outliers), n_rejected
+
+    def _extract_patterns(
+        self, item: LabeledImage, index: int, boxes: list[BoundingBox]
+    ) -> list[Pattern]:
+        patterns = []
+        label = item.label if item.label > 0 else 1
+        for box in boxes:
+            rows, cols = box.clip_to(item.shape).to_int_slices()
+            crop = item.image[rows, cols]
+            if min(crop.shape) < _MIN_PATTERN_SIDE:
+                continue
+            patterns.append(
+                Pattern(array=crop.copy(), label=int(label),
+                        provenance="crowd", source_image=index)
+            )
+        return patterns
+
+    # -- main entry points ---------------------------------------------------
+
+    def run(self, dataset: Dataset) -> CrowdResult:
+        """Annotate randomly sampled images until the defective target is met."""
+        cfg = self.config
+        order = self._rng.permutation(len(dataset))
+        chosen: list[int] = []
+        n_defective = 0
+        for idx in order:
+            chosen.append(int(idx))
+            if dataset[int(idx)].is_defective:
+                n_defective += 1
+            if n_defective >= cfg.target_defective:
+                break
+            if cfg.max_images is not None and len(chosen) >= cfg.max_images:
+                break
+        return self._annotate(dataset, chosen)
+
+    def run_fixed(self, dataset: Dataset, n_images: int) -> CrowdResult:
+        """Annotate exactly ``n_images`` randomly sampled images.
+
+        Used by the dev-set-size sweeps (Figure 9), where the annotation
+        budget is the controlled variable.
+        """
+        if not 0 < n_images <= len(dataset):
+            raise ValueError(
+                f"n_images must be in (0, {len(dataset)}], got {n_images}"
+            )
+        order = self._rng.permutation(len(dataset))[:n_images]
+        return self._annotate(dataset, [int(i) for i in order])
+
+    def _annotate(self, dataset: Dataset, indices: list[int]) -> CrowdResult:
+        patterns: list[Pattern] = []
+        n_raw = n_combined = n_outliers = n_rejected = 0
+        for idx in indices:
+            item = dataset[idx]
+            per_worker = self._pool.annotate_image(item)
+            n_raw += sum(len(b) for b in per_worker)
+            kept, nc, no, nr = self._process_image_boxes(item, per_worker)
+            n_combined += nc
+            n_outliers += no
+            n_rejected += nr
+            patterns.extend(self._extract_patterns(item, idx, kept))
+        dev = dataset.subset(sorted(indices), name=f"{dataset.name}/dev")
+        return CrowdResult(
+            dev_indices=sorted(indices),
+            dev=dev,
+            patterns=patterns,
+            n_raw_boxes=n_raw,
+            n_combined=n_combined,
+            n_outliers=n_outliers,
+            n_review_rejected=n_rejected,
+        )

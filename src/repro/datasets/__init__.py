@@ -1,0 +1,38 @@
+"""Synthetic industrial-image datasets replicating the paper's Table 1.
+
+The paper evaluates on five datasets: KSDD (electrical-commutator cracks),
+three proprietary Product variants (scratch / bubble / stamping) and NEU
+(six classes of hot-rolled-steel surface defects).  KSDD/NEU are public but
+not redistributable here and Product is proprietary, so this package builds
+*procedural generators* that match each dataset's geometry: image sizes,
+defect morphology and placement, class balance and dataset counts, all
+scaled by a ``scale`` factor for CPU tractability.
+
+Every generated image carries ground truth (label, defect bounding boxes)
+plus metadata used by the error-analysis experiment: whether heavy sensor
+noise was injected (``noisy``) and the defect contrast (``difficulty``).
+"""
+
+from repro.datasets.base import Dataset, LabeledImage, stratified_split
+from repro.datasets.ksdd import KSDDConfig, make_ksdd
+from repro.datasets.neu import NEU_CLASSES, NEUConfig, make_neu
+from repro.datasets.pretext import PretextConfig, make_pretext_corpus
+from repro.datasets.product import ProductConfig, make_product
+from repro.datasets.registry import DATASET_NAMES, make_dataset
+
+__all__ = [
+    "Dataset",
+    "LabeledImage",
+    "stratified_split",
+    "KSDDConfig",
+    "make_ksdd",
+    "NEUConfig",
+    "make_neu",
+    "NEU_CLASSES",
+    "PretextConfig",
+    "make_pretext_corpus",
+    "ProductConfig",
+    "make_product",
+    "DATASET_NAMES",
+    "make_dataset",
+]

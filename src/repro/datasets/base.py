@@ -1,0 +1,155 @@
+"""Containers for labeled images and datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.imaging.boxes import BoundingBox
+from repro.utils.rng import as_rng
+
+__all__ = ["LabeledImage", "Dataset", "stratified_split"]
+
+
+@dataclass
+class LabeledImage:
+    """One image with its gold label and generator-side ground truth.
+
+    ``defect_boxes`` are the true defect locations (what a perfect worker
+    would draw).  ``noisy`` marks images where the generator injected heavy
+    sensor noise, and ``difficulty`` is the defect-to-background contrast
+    (lower = harder); both feed the Table 6 error analysis.
+    """
+
+    image: np.ndarray
+    label: int
+    defect_boxes: list[BoundingBox] = field(default_factory=list)
+    defect_type: str = "none"
+    noisy: bool = False
+    difficulty: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.image.ndim != 2:
+            raise ValueError(f"image must be 2-D, got shape {self.image.shape}")
+        if self.label < 0:
+            raise ValueError(f"label must be non-negative, got {self.label}")
+
+    @property
+    def is_defective(self) -> bool:
+        return bool(self.defect_boxes)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.image.shape  # type: ignore[return-value]
+
+
+@dataclass
+class Dataset:
+    """A named collection of :class:`LabeledImage` with task metadata.
+
+    ``task`` is ``"binary"`` (label 1 = defective) or ``"multiclass"``
+    (label = defect class index into ``class_names``).
+    """
+
+    name: str
+    images: list[LabeledImage]
+    task: str
+    class_names: list[str]
+
+    def __post_init__(self) -> None:
+        if self.task not in ("binary", "multiclass"):
+            raise ValueError(f"task must be 'binary' or 'multiclass', got {self.task!r}")
+        if not self.class_names:
+            raise ValueError("class_names must be non-empty")
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, idx: int) -> LabeledImage:
+        return self.images[idx]
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array([im.label for im in self.images], dtype=np.int64)
+
+    @property
+    def n_defective(self) -> int:
+        return sum(1 for im in self.images if im.is_defective)
+
+    @property
+    def image_shape(self) -> tuple[int, int]:
+        """Common image shape; raises if images disagree."""
+        shapes = {im.shape for im in self.images}
+        if len(shapes) != 1:
+            raise ValueError(f"dataset {self.name} has mixed shapes: {shapes}")
+        return next(iter(shapes))
+
+    def subset(self, indices: list[int] | np.ndarray, name: str | None = None) -> "Dataset":
+        """A new dataset holding the images at ``indices`` (views, not copies)."""
+        return Dataset(
+            name=name or self.name,
+            images=[self.images[int(i)] for i in indices],
+            task=self.task,
+            class_names=list(self.class_names),
+        )
+
+    def summary(self) -> dict[str, object]:
+        """Table 1-style statistics for this dataset."""
+        h, w = self.image_shape
+        return {
+            "name": self.name,
+            "image_size": f"{h} x {w}",
+            "n": len(self),
+            "n_defective": self.n_defective,
+            "task": self.task,
+            "classes": list(self.class_names),
+        }
+
+
+def stratified_split(
+    dataset: Dataset,
+    first_size: int,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[Dataset, Dataset]:
+    """Split into (first, rest) preserving class proportions.
+
+    The paper's development sets keep roughly the pool's defective ratio
+    (Table 1: e.g. KSDD 52/399 vs 10/78); stratifying reproduces that.
+    Every class present receives at least one member in the first split when
+    ``first_size`` allows.
+    """
+    n = len(dataset)
+    if not 0 < first_size < n:
+        raise ValueError(f"first_size must be in (0, {n}), got {first_size}")
+    rng = as_rng(seed)
+    labels = dataset.labels
+    classes = np.unique(labels)
+    first_idx: list[int] = []
+    # Largest-remainder allocation of first_size across classes.
+    fractions = {}
+    for c in classes:
+        members = np.flatnonzero(labels == c)
+        exact = first_size * len(members) / n
+        fractions[int(c)] = (members, exact)
+    take = {c: int(np.floor(exact)) for c, (_, exact) in fractions.items()}
+    remainder = first_size - sum(take.values())
+    by_frac = sorted(
+        fractions, key=lambda c: fractions[c][1] - take[c], reverse=True
+    )
+    for c in by_frac[:remainder]:
+        take[c] += 1
+    for c, (members, _) in fractions.items():
+        k = min(take[c], len(members))
+        chosen = rng.choice(members, size=k, replace=False)
+        first_idx.extend(int(i) for i in chosen)
+    first_set = set(first_idx)
+    rest_idx = [i for i in range(n) if i not in first_set]
+    return (
+        dataset.subset(sorted(first_idx), name=f"{dataset.name}/dev"),
+        dataset.subset(rest_idx, name=f"{dataset.name}/rest"),
+    )

@@ -1,0 +1,376 @@
+"""Defect renderers: local intensity deviations stamped onto backgrounds.
+
+Each renderer draws one defect instance onto (a copy of) an image and
+returns the modified image together with the ground-truth bounding box of
+the defect.  ``contrast`` controls how far the defect deviates from the
+surface (the error-analysis "difficult to humans" category corresponds to
+low-contrast instances).
+
+Morphologies follow the paper's descriptions: KSDD cracks "vary significantly
+in shape"; Product scratches "vary in length and direction"; bubbles are
+"more uniform but small"; stampings are "small and appear in fixed
+positions"; NEU defects "take larger portions of the images".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.imaging.boxes import BoundingBox
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "draw_scratch",
+    "draw_bubble",
+    "draw_stamping",
+    "draw_crack",
+    "draw_rolled_in_scale",
+    "draw_patches",
+    "draw_crazing",
+    "draw_pitted_surface",
+    "draw_inclusion",
+    "draw_neu_scratches",
+]
+
+Region = tuple[int, int, int, int]  # y0, x0, y1, x1 (exclusive ends)
+
+# Mask values below this do not count toward the defect's bounding box.
+_BOX_MASK_THRESHOLD = 0.08
+
+
+def _full_region(image: np.ndarray) -> Region:
+    return (0, 0, image.shape[0], image.shape[1])
+
+
+def _check_region(image: np.ndarray, region: Region) -> Region:
+    y0, x0, y1, x1 = region
+    y0 = max(0, int(y0))
+    x0 = max(0, int(x0))
+    y1 = min(image.shape[0], int(y1))
+    x1 = min(image.shape[1], int(x1))
+    if y1 - y0 < 2 or x1 - x0 < 2:
+        raise ValueError(f"region {region} too small within image {image.shape}")
+    return y0, x0, y1, x1
+
+
+def _mask_from_points(
+    shape: tuple[int, int], ys: np.ndarray, xs: np.ndarray, thickness: float
+) -> np.ndarray:
+    """Rasterize point samples and blur them into a soft mask in [0, 1]."""
+    acc = np.zeros(shape)
+    yi = np.clip(np.round(ys).astype(int), 0, shape[0] - 1)
+    xi = np.clip(np.round(xs).astype(int), 0, shape[1] - 1)
+    acc[yi, xi] = 1.0
+    sigma = max(thickness / 2.0, 0.5)
+    mask = ndimage.gaussian_filter(acc, sigma=sigma)
+    peak = mask.max()
+    if peak > 0:
+        mask /= peak
+    return mask
+
+
+def _box_from_mask(mask: np.ndarray) -> BoundingBox:
+    ys, xs = np.nonzero(mask > _BOX_MASK_THRESHOLD)
+    if ys.size == 0:
+        raise RuntimeError("defect mask is empty; rendering bug")
+    return BoundingBox(
+        y=float(ys.min()),
+        x=float(xs.min()),
+        height=float(ys.max() - ys.min() + 1),
+        width=float(xs.max() - xs.min() + 1),
+    )
+
+
+def _apply(image: np.ndarray, mask: np.ndarray, contrast: float, sign: float) -> np.ndarray:
+    out = np.clip(image + sign * contrast * mask, 0.0, 1.0)
+    return out
+
+
+def _polyline_points(
+    rng: np.random.Generator,
+    start: tuple[float, float],
+    angle: float,
+    length: float,
+    jitter: float,
+    n_segments: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dense samples along a jittered polyline starting at ``start``."""
+    ys = [start[0]]
+    xs = [start[1]]
+    seg_len = length / n_segments
+    for _ in range(n_segments):
+        angle += rng.normal(0.0, jitter)
+        steps = max(2, int(seg_len * 2))
+        for s in range(1, steps + 1):
+            ys.append(ys[-1] + np.sin(angle) * seg_len / steps)
+            xs.append(xs[-1] + np.cos(angle) * seg_len / steps)
+    return np.array(ys), np.array(xs)
+
+
+def draw_scratch(
+    image: np.ndarray,
+    rng: int | np.random.Generator | None,
+    contrast: float = 0.25,
+    length_range: tuple[float, float] = (0.15, 0.5),
+    thickness: float = 1.5,
+    region: Region | None = None,
+    bright: bool = True,
+) -> tuple[np.ndarray, BoundingBox]:
+    """A thin polyline scratch with random length and direction.
+
+    ``length_range`` is a fraction of the region's longer side.
+    """
+    rng = as_rng(rng)
+    region = _check_region(image, region or _full_region(image))
+    y0, x0, y1, x1 = region
+    long_side = max(y1 - y0, x1 - x0)
+    length = rng.uniform(*length_range) * long_side
+    angle = rng.uniform(0, 2 * np.pi)
+    # Keep the scratch inside the region: start away from the walls along
+    # the chosen direction.
+    margin_y = abs(np.sin(angle)) * length
+    margin_x = abs(np.cos(angle)) * length
+    sy = rng.uniform(y0 + 1, max(y0 + 2, y1 - 1 - margin_y)) if np.sin(angle) > 0 else \
+        rng.uniform(min(y1 - 2, y0 + 1 + margin_y), y1 - 1)
+    sx = rng.uniform(x0 + 1, max(x0 + 2, x1 - 1 - margin_x)) if np.cos(angle) > 0 else \
+        rng.uniform(min(x1 - 2, x0 + 1 + margin_x), x1 - 1)
+    ys, xs = _polyline_points(rng, (sy, sx), angle, length, jitter=0.15,
+                              n_segments=int(rng.integers(2, 5)))
+    ys = np.clip(ys, y0, y1 - 1)
+    xs = np.clip(xs, x0, x1 - 1)
+    mask = _mask_from_points(image.shape, ys, xs, thickness)
+    sign = 1.0 if bright else -1.0
+    return _apply(image, mask, contrast, sign), _box_from_mask(mask)
+
+
+def draw_bubble(
+    image: np.ndarray,
+    rng: int | np.random.Generator | None,
+    contrast: float = 0.2,
+    radius_range: tuple[float, float] = (1.5, 4.0),
+    region: Region | None = None,
+) -> tuple[np.ndarray, BoundingBox]:
+    """A small round blister: bright rim around a slightly darker core."""
+    rng = as_rng(rng)
+    region = _check_region(image, region or _full_region(image))
+    y0, x0, y1, x1 = region
+    radius = rng.uniform(*radius_range)
+    cy = rng.uniform(y0 + radius + 1, max(y0 + radius + 2, y1 - radius - 1))
+    cx = rng.uniform(x0 + radius + 1, max(x0 + radius + 2, x1 - radius - 1))
+    yy, xx = np.mgrid[: image.shape[0], : image.shape[1]]
+    dist = np.sqrt((yy - cy) ** 2 + (xx - cx) ** 2)
+    rim = np.exp(-((dist - radius) ** 2) / (2 * (radius / 2.5) ** 2))
+    core = np.exp(-(dist**2) / (2 * (radius / 1.8) ** 2))
+    out = np.clip(image + contrast * rim - 0.6 * contrast * core, 0.0, 1.0)
+    mask = np.maximum(rim, core)
+    return out, _box_from_mask(mask / (mask.max() + 1e-12))
+
+
+def draw_stamping(
+    image: np.ndarray,
+    rng: int | np.random.Generator | None,
+    contrast: float = 0.22,
+    size: float = 6.0,
+    position: tuple[float, float] = (0.5, 0.8),
+    position_jitter: float = 0.01,
+) -> tuple[np.ndarray, BoundingBox]:
+    """A small rectangular press mark at a (nearly) fixed relative position.
+
+    ``position`` is the (row, column) location as a fraction of the image;
+    stamping defects "appear in fixed positions", which is exactly why CNNs
+    excel on them (Section 6.2).
+    """
+    rng = as_rng(rng)
+    h, w = image.shape
+    cy = np.clip(position[0] + rng.normal(0, position_jitter), 0.05, 0.95) * h
+    cx = np.clip(position[1] + rng.normal(0, position_jitter), 0.05, 0.95) * w
+    half = max(size / 2.0, 1.5)
+    yy, xx = np.mgrid[:h, :w]
+    dy = np.abs(yy - cy) / half
+    dx = np.abs(xx - cx) / (half * rng.uniform(1.0, 1.6))
+    # Rounded-rectangle imprint with a pressed (dark) interior.
+    box_dist = np.maximum(dy, dx)
+    edge = np.exp(-((box_dist - 1.0) ** 2) / 0.08)
+    interior = np.clip(1.0 - box_dist, 0.0, 1.0)
+    out = np.clip(image - contrast * interior + 0.5 * contrast * edge, 0.0, 1.0)
+    mask = np.maximum(edge, interior)
+    return out, _box_from_mask(mask / (mask.max() + 1e-12))
+
+
+def draw_crack(
+    image: np.ndarray,
+    rng: int | np.random.Generator | None,
+    contrast: float = 0.3,
+    region: Region | None = None,
+    thickness: float = 1.2,
+) -> tuple[np.ndarray, BoundingBox]:
+    """A dark jagged crack: a random walk with strong angular jitter.
+
+    KSDD cracks "vary significantly in shape"; the high-jitter walk with a
+    random number of branches reproduces that variety.
+    """
+    rng = as_rng(rng)
+    region = _check_region(image, region or _full_region(image))
+    y0, x0, y1, x1 = region
+    length = rng.uniform(0.25, 0.7) * max(y1 - y0, x1 - x0)
+    angle = rng.uniform(0, 2 * np.pi)
+    sy = rng.uniform(y0 + 2, y1 - 2)
+    sx = rng.uniform(x0 + 2, x1 - 2)
+    ys, xs = _polyline_points(rng, (sy, sx), angle, length, jitter=0.6,
+                              n_segments=int(rng.integers(4, 9)))
+    # Optional branch forking off the midpoint.
+    if rng.random() < 0.5:
+        mid = len(ys) // 2
+        bys, bxs = _polyline_points(
+            rng, (ys[mid], xs[mid]), angle + rng.uniform(0.6, 1.2),
+            length * 0.4, jitter=0.5, n_segments=3,
+        )
+        ys = np.concatenate([ys, bys])
+        xs = np.concatenate([xs, bxs])
+    ys = np.clip(ys, y0, y1 - 1)
+    xs = np.clip(xs, x0, x1 - 1)
+    mask = _mask_from_points(image.shape, ys, xs, thickness)
+    return _apply(image, mask, contrast, sign=-1.0), _box_from_mask(mask)
+
+
+def _blob_mask(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    n_blobs: int,
+    blob_sigma: float,
+    region: Region,
+) -> np.ndarray:
+    y0, x0, y1, x1 = region
+    acc = np.zeros(shape)
+    for _ in range(n_blobs):
+        cy = rng.uniform(y0, y1 - 1)
+        cx = rng.uniform(x0, x1 - 1)
+        acc[int(cy), int(cx)] = rng.uniform(0.6, 1.0)
+    mask = ndimage.gaussian_filter(acc, sigma=blob_sigma)
+    peak = mask.max()
+    if peak > 0:
+        mask /= peak
+    return mask
+
+
+def draw_rolled_in_scale(
+    image: np.ndarray, rng: int | np.random.Generator | None, contrast: float = 0.22
+) -> tuple[np.ndarray, BoundingBox]:
+    """NEU rolled-in scale: clusters of mid-size dark oxide patches."""
+    rng = as_rng(rng)
+    h, w = image.shape
+    mask = _blob_mask(image.shape, rng, n_blobs=int(rng.integers(6, 14)),
+                      blob_sigma=min(h, w) / 14, region=_full_region(image))
+    return _apply(image, mask, contrast, sign=-1.0), _box_from_mask(mask)
+
+
+def draw_patches(
+    image: np.ndarray, rng: int | np.random.Generator | None, contrast: float = 0.25
+) -> tuple[np.ndarray, BoundingBox]:
+    """NEU patches: a few large irregular bright regions."""
+    rng = as_rng(rng)
+    h, w = image.shape
+    mask = _blob_mask(image.shape, rng, n_blobs=int(rng.integers(2, 5)),
+                      blob_sigma=min(h, w) / 6, region=_full_region(image))
+    return _apply(image, mask, contrast, sign=1.0), _box_from_mask(mask)
+
+
+def draw_crazing(
+    image: np.ndarray, rng: int | np.random.Generator | None, contrast: float = 0.18
+) -> tuple[np.ndarray, BoundingBox]:
+    """NEU crazing: a family of fine parallel dark lines across the surface."""
+    rng = as_rng(rng)
+    h, w = image.shape
+    angle = rng.uniform(-0.4, 0.4) + (np.pi / 2 if rng.random() < 0.5 else 0.0)
+    n_lines = int(rng.integers(5, 10))
+    ys_all: list[np.ndarray] = []
+    xs_all: list[np.ndarray] = []
+    for _ in range(n_lines):
+        sy = rng.uniform(0, h - 1)
+        sx = rng.uniform(0, w - 1)
+        length = rng.uniform(0.4, 0.9) * max(h, w)
+        ys, xs = _polyline_points(rng, (sy, sx), angle, length, jitter=0.05,
+                                  n_segments=3)
+        keep = (ys >= 0) & (ys < h) & (xs >= 0) & (xs < w)
+        ys_all.append(ys[keep])
+        xs_all.append(xs[keep])
+    ys = np.concatenate(ys_all)
+    xs = np.concatenate(xs_all)
+    if ys.size == 0:  # all lines left the frame; retry deterministically
+        return draw_crazing(image, rng, contrast)
+    mask = _mask_from_points(image.shape, ys, xs, thickness=1.0)
+    return _apply(image, mask, contrast, sign=-1.0), _box_from_mask(mask)
+
+
+def draw_pitted_surface(
+    image: np.ndarray, rng: int | np.random.Generator | None, contrast: float = 0.25
+) -> tuple[np.ndarray, BoundingBox]:
+    """NEU pitted surface: dense speckle of small dark pits."""
+    rng = as_rng(rng)
+    h, w = image.shape
+    n_pits = int(rng.integers(30, 80))
+    # Pits concentrate inside a sub-region, as in the real dataset.
+    ry = rng.uniform(0.4, 0.9) * h
+    rx = rng.uniform(0.4, 0.9) * w
+    oy = rng.uniform(0, h - ry)
+    ox = rng.uniform(0, w - rx)
+    acc = np.zeros(image.shape)
+    ys = rng.uniform(oy, oy + ry, size=n_pits).astype(int)
+    xs = rng.uniform(ox, ox + rx, size=n_pits).astype(int)
+    acc[np.clip(ys, 0, h - 1), np.clip(xs, 0, w - 1)] = 1.0
+    mask = ndimage.gaussian_filter(acc, sigma=1.2)
+    mask /= mask.max() + 1e-12
+    return _apply(image, mask, contrast, sign=-1.0), _box_from_mask(mask)
+
+
+def draw_inclusion(
+    image: np.ndarray, rng: int | np.random.Generator | None, contrast: float = 0.3
+) -> tuple[np.ndarray, BoundingBox]:
+    """NEU inclusion: one to three elongated dark embedded streaks."""
+    rng = as_rng(rng)
+    h, w = image.shape
+    n = int(rng.integers(1, 4))
+    masks = []
+    for _ in range(n):
+        sy = rng.uniform(0.1 * h, 0.9 * h)
+        sx = rng.uniform(0.1 * w, 0.9 * w)
+        angle = rng.uniform(-0.3, 0.3) + (np.pi / 2 if rng.random() < 0.7 else 0.0)
+        length = rng.uniform(0.2, 0.5) * max(h, w)
+        ys, xs = _polyline_points(rng, (sy, sx), angle, length, jitter=0.1,
+                                  n_segments=2)
+        keep = (ys >= 0) & (ys < h) & (xs >= 0) & (xs < w)
+        if keep.sum() == 0:
+            continue
+        masks.append(_mask_from_points(image.shape, ys[keep], xs[keep],
+                                       thickness=rng.uniform(2.0, 3.5)))
+    if not masks:
+        return draw_inclusion(image, rng, contrast)
+    mask = np.maximum.reduce(masks)
+    return _apply(image, mask, contrast, sign=-1.0), _box_from_mask(mask)
+
+
+def draw_neu_scratches(
+    image: np.ndarray, rng: int | np.random.Generator | None, contrast: float = 0.3
+) -> tuple[np.ndarray, BoundingBox]:
+    """NEU scratches: thin bright lines, often several, spanning the image."""
+    rng = as_rng(rng)
+    h, w = image.shape
+    n = int(rng.integers(1, 4))
+    masks = []
+    for _ in range(n):
+        sy = rng.uniform(0, h - 1)
+        sx = rng.uniform(0, 0.3 * w)
+        angle = rng.uniform(-0.2, 0.2)
+        length = rng.uniform(0.5, 1.0) * w
+        ys, xs = _polyline_points(rng, (sy, sx), angle, length, jitter=0.05,
+                                  n_segments=3)
+        keep = (ys >= 0) & (ys < h) & (xs >= 0) & (xs < w)
+        if keep.sum() == 0:
+            continue
+        masks.append(_mask_from_points(image.shape, ys[keep], xs[keep],
+                                       thickness=1.2))
+    if not masks:
+        return draw_neu_scratches(image, rng, contrast)
+    mask = np.maximum.reduce(masks)
+    return _apply(image, mask, contrast, sign=1.0), _box_from_mask(mask)

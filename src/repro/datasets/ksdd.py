@@ -1,0 +1,89 @@
+"""Synthetic KSDD: electrical-commutator surfaces with crack defects.
+
+Reference statistics from Table 1: images 500 x 1257, N = 399 with
+ND = 52 defective, development set 78 (10 defective), one defect type
+(crack, binary task).  Cracks vary significantly in shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import Dataset, LabeledImage
+from repro.datasets.defects import draw_crack
+from repro.datasets.textures import commutator_surface
+from repro.imaging.ops import gaussian_noise
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["KSDDConfig", "make_ksdd"]
+
+
+@dataclass(frozen=True)
+class KSDDConfig:
+    """Generation parameters; defaults reproduce Table 1 at ``scale=1``."""
+
+    n_images: int = 399
+    n_defective: int = 52
+    scale: float = 0.1
+    base_height: int = 500
+    base_width: int = 1257
+    contrast_range: tuple[float, float] = (0.10, 0.40)
+    difficult_contrast: float = 0.14
+    noisy_fraction: float = 0.10
+    noise_sigma: float = 0.06
+
+    def __post_init__(self) -> None:
+        check_positive("n_images", self.n_images)
+        check_positive("scale", self.scale)
+        check_probability("noisy_fraction", self.noisy_fraction)
+        if not 0 <= self.n_defective <= self.n_images:
+            raise ValueError("n_defective must be within [0, n_images]")
+
+    @property
+    def image_shape(self) -> tuple[int, int]:
+        return (
+            max(16, int(round(self.base_height * self.scale))),
+            max(16, int(round(self.base_width * self.scale))),
+        )
+
+
+def make_ksdd(
+    config: KSDDConfig | None = None, seed: int | np.random.Generator | None = 0
+) -> Dataset:
+    """Generate the synthetic KSDD dataset."""
+    config = config or KSDDConfig()
+    rng = as_rng(seed)
+    shape = config.image_shape
+    defective_flags = np.zeros(config.n_images, dtype=bool)
+    defective_flags[: config.n_defective] = True
+    rng.shuffle(defective_flags)
+
+    images: list[LabeledImage] = []
+    for i in range(config.n_images):
+        surface = commutator_surface(shape, rng,
+                                     groove_period=max(4, int(24 * config.scale * 5)))
+        noisy = bool(rng.random() < config.noisy_fraction)
+        boxes = []
+        difficulty = 1.0
+        if defective_flags[i]:
+            contrast = float(rng.uniform(*config.contrast_range))
+            difficulty = contrast
+            surface, box = draw_crack(surface, rng, contrast=contrast)
+            boxes = [box]
+        if noisy:
+            surface = gaussian_noise(surface, config.noise_sigma, rng)
+        images.append(
+            LabeledImage(
+                image=surface,
+                label=int(defective_flags[i]),
+                defect_boxes=boxes,
+                defect_type="crack" if defective_flags[i] else "none",
+                noisy=noisy,
+                difficulty=difficulty,
+            )
+        )
+    return Dataset(name="ksdd", images=images, task="binary",
+                   class_names=["ok", "crack"])

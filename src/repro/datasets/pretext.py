@@ -1,0 +1,112 @@
+"""Pretext texture corpus: the offline stand-in for ImageNet pre-training.
+
+The paper's transfer-learning baseline fine-tunes a VGG-19 pre-trained on
+ImageNet, and GOGGLES relies on a pre-trained VGG-16 for semantic
+prototypes.  With no network access or model zoo, we pre-train the same
+from-scratch CNNs on a *texture classification* corpus generated here; it
+supplies the generic low-level filters (edges, blobs, stripes) that those
+pre-trained backbones contribute in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import Dataset, LabeledImage
+from repro.datasets.textures import (
+    brushed_metal,
+    commutator_surface,
+    rolled_steel,
+    striped_surface,
+    value_noise,
+)
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["PretextConfig", "make_pretext_corpus", "PRETEXT_CLASSES"]
+
+PRETEXT_CLASSES = (
+    "brushed",
+    "striped",
+    "rolled",
+    "commutator",
+    "blobs",
+    "checker",
+    "gradient",
+    "speckle",
+)
+
+
+def _blobs(shape, rng):
+    field = value_noise(shape, rng, cell=max(3, shape[0] // 5), amplitude=0.3)
+    return np.clip(0.5 + field, 0.0, 1.0)
+
+
+def _checker(shape, rng):
+    h, w = shape
+    period = int(rng.integers(3, max(4, h // 3)))
+    yy, xx = np.mgrid[:h, :w]
+    board = ((yy // period + xx // period) % 2).astype(float)
+    return np.clip(0.3 + 0.4 * board + rng.normal(0, 0.02, shape), 0.0, 1.0)
+
+
+def _gradient(shape, rng):
+    h, w = shape
+    angle = rng.uniform(0, 2 * np.pi)
+    yy, xx = np.mgrid[:h, :w]
+    ramp = np.cos(angle) * xx / max(w - 1, 1) + np.sin(angle) * yy / max(h - 1, 1)
+    ramp = (ramp - ramp.min()) / (ramp.max() - ramp.min() + 1e-12)
+    return np.clip(0.2 + 0.6 * ramp + rng.normal(0, 0.02, shape), 0.0, 1.0)
+
+
+def _speckle(shape, rng):
+    img = np.full(shape, 0.5)
+    n = int(0.05 * shape[0] * shape[1])
+    ys = rng.integers(0, shape[0], size=n)
+    xs = rng.integers(0, shape[1], size=n)
+    img[ys, xs] = rng.uniform(0, 1, size=n)
+    return img
+
+
+_GENERATORS = {
+    "brushed": lambda shape, rng: brushed_metal(shape, rng),
+    "striped": lambda shape, rng: striped_surface(shape, rng,
+                                                  n_strips=int(rng.integers(3, 7))),
+    "rolled": lambda shape, rng: rolled_steel(shape, rng),
+    "commutator": lambda shape, rng: commutator_surface(
+        shape, rng, groove_period=int(rng.integers(3, 9))),
+    "blobs": _blobs,
+    "checker": _checker,
+    "gradient": _gradient,
+    "speckle": _speckle,
+}
+
+
+@dataclass(frozen=True)
+class PretextConfig:
+    per_class: int = 40
+    size: int = 32
+
+    def __post_init__(self) -> None:
+        check_positive("per_class", self.per_class)
+        check_positive("size", self.size)
+
+
+def make_pretext_corpus(
+    config: PretextConfig | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> Dataset:
+    """Generate the texture-classification pre-training corpus."""
+    config = config or PretextConfig()
+    rng = as_rng(seed)
+    shape = (config.size, config.size)
+    images: list[LabeledImage] = []
+    for i in range(config.per_class):
+        for label, cls in enumerate(PRETEXT_CLASSES):
+            img = _GENERATORS[cls](shape, rng)
+            images.append(LabeledImage(image=img, label=label,
+                                       defect_type=cls))
+    return Dataset(name="pretext", images=images, task="multiclass",
+                   class_names=list(PRETEXT_CLASSES))

@@ -1,0 +1,200 @@
+"""Synthetic Product dataset: striped surfaces with three defect variants.
+
+The paper's proprietary Product dataset comes from a circular product whose
+strips unroll into long rectangles; each defect type lives in particular
+strips (Table 1):
+
+* ``scratch``  — 162 x 2702, N = 1673 (727 defective), varying length/direction
+* ``bubble``   — 77 x 1389,  N = 1048 (102 defective), small and uniform
+* ``stamping`` — 161 x 5278, N = 1094 (148 defective), fixed positions
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import Dataset, LabeledImage
+from repro.datasets.defects import draw_bubble, draw_scratch, draw_stamping
+from repro.datasets.textures import striped_surface
+from repro.imaging.ops import gaussian_noise
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["ProductConfig", "make_product", "PRODUCT_VARIANTS"]
+
+# Table 1 reference geometry and counts per variant.
+_VARIANT_DEFAULTS: dict[str, dict[str, object]] = {
+    "scratch": {
+        "base_height": 162, "base_width": 2702,
+        "n_images": 1673, "n_defective": 727,
+        "contrast_range": (0.12, 0.38), "difficult_contrast": 0.16,
+    },
+    "bubble": {
+        "base_height": 77, "base_width": 1389,
+        "n_images": 1048, "n_defective": 102,
+        "contrast_range": (0.10, 0.30), "difficult_contrast": 0.13,
+    },
+    "stamping": {
+        "base_height": 161, "base_width": 5278,
+        "n_images": 1094, "n_defective": 148,
+        "contrast_range": (0.12, 0.34), "difficult_contrast": 0.16,
+    },
+}
+
+PRODUCT_VARIANTS = tuple(_VARIANT_DEFAULTS)
+
+# Fixed relative positions where stamping marks occur (along the strip).
+_STAMPING_POSITIONS = ((0.5, 0.2), (0.5, 0.5), (0.5, 0.8))
+
+
+@dataclass(frozen=True)
+class ProductConfig:
+    """Generation parameters for one Product variant.
+
+    ``n_images``/``n_defective`` of ``None`` use the Table 1 defaults of the
+    chosen ``variant``.
+    """
+
+    variant: str = "scratch"
+    n_images: int | None = None
+    n_defective: int | None = None
+    scale: float = 0.1
+    n_strips: int = 4
+    noisy_fraction: float = 0.08
+    noise_sigma: float = 0.05
+    max_defects_per_image: int = 2
+    contrast_range: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.variant not in _VARIANT_DEFAULTS:
+            raise ValueError(
+                f"variant must be one of {PRODUCT_VARIANTS}, got {self.variant!r}"
+            )
+        check_positive("scale", self.scale)
+        check_probability("noisy_fraction", self.noisy_fraction)
+        check_positive("max_defects_per_image", self.max_defects_per_image)
+
+    @property
+    def defaults(self) -> dict[str, object]:
+        return _VARIANT_DEFAULTS[self.variant]
+
+    @property
+    def resolved_n_images(self) -> int:
+        return int(self.n_images if self.n_images is not None
+                   else self.defaults["n_images"])
+
+    @property
+    def resolved_n_defective(self) -> int:
+        n_def = (self.n_defective if self.n_defective is not None
+                 else self.defaults["n_defective"])
+        n_def = int(n_def)
+        if self.n_defective is None and self.n_images is not None:
+            # Preserve the reference class balance when only N is overridden.
+            ratio = (int(self.defaults["n_defective"])
+                     / int(self.defaults["n_images"]))
+            n_def = max(1, int(round(self.resolved_n_images * ratio)))
+        if not 0 <= n_def <= self.resolved_n_images:
+            raise ValueError("n_defective must be within [0, n_images]")
+        return n_def
+
+    @property
+    def resolved_contrast_range(self) -> tuple[float, float]:
+        if self.contrast_range is not None:
+            return self.contrast_range
+        return self.defaults["contrast_range"]  # type: ignore[return-value]
+
+    @property
+    def image_shape(self) -> tuple[int, int]:
+        return (
+            max(12, int(round(int(self.defaults["base_height"]) * self.scale))),
+            max(24, int(round(int(self.defaults["base_width"]) * self.scale))),
+        )
+
+
+def _strip_region(shape: tuple[int, int], n_strips: int,
+                  strip: int) -> tuple[int, int, int, int]:
+    """The (y0, x0, y1, x1) region covered by strip index ``strip``."""
+    h, w = shape
+    edges = np.linspace(0, h, n_strips + 1).astype(int)
+    return (int(edges[strip]), 0, int(edges[strip + 1]), w)
+
+
+def _render_defects(
+    config: ProductConfig,
+    surface: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, list, float]:
+    """Stamp 1..max defects of the variant's type; returns (image, boxes, contrast)."""
+    n_defects = int(rng.integers(1, config.max_defects_per_image + 1))
+    contrast = float(rng.uniform(*config.resolved_contrast_range))
+    boxes = []
+    h, w = surface.shape
+    for k in range(n_defects):
+        if config.variant == "scratch":
+            strip = int(rng.integers(0, config.n_strips))
+            region = _strip_region(surface.shape, config.n_strips, strip)
+            surface, box = draw_scratch(
+                surface, rng, contrast=contrast, region=region,
+                length_range=(0.05, 0.25), bright=bool(rng.random() < 0.5),
+            )
+        elif config.variant == "bubble":
+            # Bubbles occur in the central strip.
+            strip = config.n_strips // 2
+            region = _strip_region(surface.shape, config.n_strips, strip)
+            max_radius = max(1.6, min(4.0, (region[2] - region[0]) / 3.0))
+            surface, box = draw_bubble(
+                surface, rng, contrast=contrast,
+                radius_range=(1.5, max_radius), region=region,
+            )
+        else:  # stamping
+            pos = _STAMPING_POSITIONS[k % len(_STAMPING_POSITIONS)]
+            size = max(3.0, 6.0 * h / 16.0)
+            surface, box = draw_stamping(
+                surface, rng, contrast=contrast, size=size, position=pos,
+            )
+        boxes.append(box)
+    return surface, boxes, contrast
+
+
+def make_product(
+    config: ProductConfig | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> Dataset:
+    """Generate one synthetic Product variant."""
+    config = config or ProductConfig()
+    rng = as_rng(seed)
+    shape = config.image_shape
+    n = config.resolved_n_images
+    defective_flags = np.zeros(n, dtype=bool)
+    defective_flags[: config.resolved_n_defective] = True
+    rng.shuffle(defective_flags)
+
+    images: list[LabeledImage] = []
+    for i in range(n):
+        surface = striped_surface(shape, rng, n_strips=config.n_strips)
+        noisy = bool(rng.random() < config.noisy_fraction)
+        boxes: list = []
+        difficulty = 1.0
+        if defective_flags[i]:
+            surface, boxes, contrast = _render_defects(config, surface, rng)
+            difficulty = contrast
+        if noisy:
+            surface = gaussian_noise(surface, config.noise_sigma, rng)
+        images.append(
+            LabeledImage(
+                image=surface,
+                label=int(defective_flags[i]),
+                defect_boxes=boxes,
+                defect_type=config.variant if defective_flags[i] else "none",
+                noisy=noisy,
+                difficulty=difficulty,
+            )
+        )
+    return Dataset(
+        name=f"product_{config.variant}",
+        images=images,
+        task="binary",
+        class_names=["ok", config.variant],
+    )

@@ -1,0 +1,84 @@
+"""Dataset registry: build any evaluation dataset by name.
+
+Also records the paper's Table 1 development-set sizes, which the
+experiment harness uses as defaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.datasets.ksdd import KSDDConfig, make_ksdd
+from repro.datasets.neu import NEUConfig, make_neu
+from repro.datasets.product import ProductConfig, make_product
+
+__all__ = ["DATASET_NAMES", "make_dataset", "reference_dev_size"]
+
+DATASET_NAMES = (
+    "ksdd",
+    "product_scratch",
+    "product_bubble",
+    "product_stamping",
+    "neu",
+)
+
+# Table 1: development-set size NV (and defective count NDV) per dataset.
+_REFERENCE_DEV = {
+    "ksdd": (78, 10),
+    "product_scratch": (170, 76),
+    "product_bubble": (104, 10),
+    "product_stamping": (109, 15),
+    "neu": (600, 600),  # 100 per class x 6 classes, all "defective"
+}
+
+
+def reference_dev_size(name: str, n_images: int | None = None) -> int:
+    """Table 1's NV, proportionally shrunk when ``n_images`` overrides N.
+
+    The paper's dev sets are a fixed fraction of the pool; when experiments
+    run with a reduced pool the dev set shrinks with it.
+    """
+    if name not in _REFERENCE_DEV:
+        raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    nv, _ = _REFERENCE_DEV[name]
+    if n_images is None:
+        return nv
+    reference_n = {
+        "ksdd": 399,
+        "product_scratch": 1673,
+        "product_bubble": 1048,
+        "product_stamping": 1094,
+        "neu": 1800,
+    }[name]
+    return max(6, int(round(nv * n_images / reference_n)))
+
+
+def make_dataset(
+    name: str,
+    scale: float = 0.1,
+    seed: int | np.random.Generator | None = 0,
+    n_images: int | None = None,
+) -> Dataset:
+    """Build the dataset called ``name`` at the given spatial ``scale``.
+
+    ``n_images`` overrides the Table 1 pool size while preserving the class
+    balance (for NEU it is interpreted as the total across all six classes).
+    """
+    if name == "ksdd":
+        kwargs = {"scale": scale}
+        if n_images is not None:
+            ratio = 52 / 399
+            kwargs.update(n_images=n_images,
+                          n_defective=max(1, int(round(n_images * ratio))))
+        return make_ksdd(KSDDConfig(**kwargs), seed=seed)
+    if name.startswith("product_"):
+        variant = name.removeprefix("product_")
+        return make_product(
+            ProductConfig(variant=variant, scale=scale, n_images=n_images),
+            seed=seed,
+        )
+    if name == "neu":
+        per_class = 300 if n_images is None else max(2, n_images // 6)
+        return make_neu(NEUConfig(per_class=per_class, scale=scale), seed=seed)
+    raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")

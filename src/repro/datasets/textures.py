@@ -1,0 +1,133 @@
+"""Procedural background textures for the synthetic industrial datasets.
+
+Industrial images are dominated by near-uniform machined surfaces with
+low-amplitude structured texture; defects are local deviations from it.
+These generators produce the background layer each dataset builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "value_noise",
+    "brushed_metal",
+    "striped_surface",
+    "rolled_steel",
+    "commutator_surface",
+]
+
+
+def value_noise(
+    shape: tuple[int, int],
+    rng: int | np.random.Generator | None,
+    cell: int = 16,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """Smooth band-limited noise: random grid upsampled bilinearly.
+
+    The classic "value noise" primitive — cheap, smooth, and stationary —
+    used as the base of every texture.  Output is zero-mean with peak
+    amplitude ``amplitude``.
+    """
+    rng = as_rng(rng)
+    if cell < 1:
+        raise ValueError(f"cell must be >= 1, got {cell}")
+    h, w = shape
+    gh = max(2, h // cell + 2)
+    gw = max(2, w // cell + 2)
+    grid = rng.uniform(-1.0, 1.0, size=(gh, gw))
+    zoom = (h / gh, w / gw)
+    field = ndimage.zoom(grid, zoom, order=1, mode="nearest", grid_mode=False)
+    field = field[:h, :w]
+    if field.shape != (h, w):  # zoom rounding can undershoot by one pixel
+        field = np.pad(field, ((0, h - field.shape[0]), (0, w - field.shape[1])),
+                       mode="edge")
+    peak = np.abs(field).max()
+    if peak > 0:
+        field = field / peak
+    return field * amplitude
+
+
+def brushed_metal(
+    shape: tuple[int, int],
+    rng: int | np.random.Generator | None,
+    base: float = 0.55,
+    streak_strength: float = 0.04,
+    grain: float = 0.01,
+) -> np.ndarray:
+    """Horizontally brushed metal: fine directional streaks over a flat base."""
+    rng = as_rng(rng)
+    h, w = shape
+    # Per-row offsets blurred along x produce horizontal brushing.
+    streaks = rng.normal(0.0, 1.0, size=(h, w))
+    streaks = ndimage.uniform_filter1d(streaks, size=max(3, w // 8), axis=1)
+    streaks /= np.abs(streaks).max() + 1e-12
+    surface = base + streak_strength * streaks
+    surface += rng.normal(0.0, grain, size=shape)
+    return np.clip(surface, 0.0, 1.0)
+
+
+def striped_surface(
+    shape: tuple[int, int],
+    rng: int | np.random.Generator | None,
+    n_strips: int = 5,
+    base: float = 0.5,
+    strip_contrast: float = 0.08,
+    grain: float = 0.012,
+) -> np.ndarray:
+    """Product-style surface: horizontal strips of differing intensity.
+
+    The Product datasets come from circular products unrolled into long
+    rectangles composed of distinct strips; defect types occur in specific
+    strips, which this layout preserves.
+    """
+    rng = as_rng(rng)
+    h, w = shape
+    n_strips = max(1, min(n_strips, h))
+    # Strip boundaries with slight randomness.
+    edges = np.linspace(0, h, n_strips + 1).astype(int)
+    surface = np.empty(shape)
+    for i in range(n_strips):
+        level = base + strip_contrast * rng.uniform(-1.0, 1.0)
+        surface[edges[i] : edges[i + 1], :] = level
+    surface += value_noise(shape, rng, cell=max(4, w // 20), amplitude=grain)
+    surface += rng.normal(0.0, grain / 2, size=shape)
+    return np.clip(surface, 0.0, 1.0)
+
+
+def rolled_steel(
+    shape: tuple[int, int],
+    rng: int | np.random.Generator | None,
+    base: float = 0.45,
+    texture_strength: float = 0.05,
+) -> np.ndarray:
+    """NEU-style hot-rolled steel: mottled mid-gray with mild vertical drift."""
+    rng = as_rng(rng)
+    h, w = shape
+    mottle = value_noise(shape, rng, cell=max(4, min(h, w) // 12),
+                         amplitude=texture_strength)
+    drift = value_noise(shape, rng, cell=max(8, h // 3), amplitude=texture_strength / 2)
+    surface = base + mottle + drift + rng.normal(0.0, 0.01, size=shape)
+    return np.clip(surface, 0.0, 1.0)
+
+
+def commutator_surface(
+    shape: tuple[int, int],
+    rng: int | np.random.Generator | None,
+    base: float = 0.5,
+    groove_period: int = 24,
+    groove_strength: float = 0.05,
+) -> np.ndarray:
+    """KSDD-style commutator: plastic surface with faint periodic grooves."""
+    rng = as_rng(rng)
+    h, w = shape
+    ys = np.arange(h)[:, None]
+    grooves = groove_strength * np.sin(2 * np.pi * ys / max(groove_period, 2))
+    surface = base + grooves + value_noise(shape, rng, cell=max(6, w // 10),
+                                           amplitude=0.03)
+    surface += rng.normal(0.0, 0.012, size=shape)
+    return np.clip(surface, 0.0, 1.0)

@@ -1,0 +1,17 @@
+"""Evaluation: accuracy measures, end-model experiments, error analysis."""
+
+from repro.eval.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_macro,
+    f1_score,
+    precision_recall_f1,
+)
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "f1_macro",
+    "f1_score",
+    "precision_recall_f1",
+]

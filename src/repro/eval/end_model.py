@@ -1,0 +1,147 @@
+"""End-model experiment (Section 6.6 / Table 5).
+
+Are Inspector Gadget's weak labels useful for training the end
+discriminative model?  Train the end model twice — on the development set
+alone, and on the development set plus weak-labeled images — and compare F1
+on held-out test data.  "Tip. Pnt" reports how much *larger* the development
+set would need to be for dev-only training to reach the weak-label F1.
+
+End models follow the paper: a VGG-style CNN for the binary datasets and a
+ResNet-style CNN for NEU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.cnn_zoo import CNNClassifier, dataset_to_tensor
+from repro.datasets.base import Dataset, stratified_split
+from repro.eval.metrics import f1_score
+from repro.labeler.weak_labels import WeakLabels
+from repro.utils.rng import as_rng
+
+__all__ = ["EndModelResult", "train_end_model", "end_model_comparison",
+           "tipping_point"]
+
+
+@dataclass
+class EndModelResult:
+    """Table 5 row: dev-only F1, dev+weak F1, and the tipping point."""
+
+    dataset: str
+    end_model: str
+    f1_dev_only: float
+    f1_with_weak: float
+    tipping_point: float | None
+
+
+def train_end_model(
+    train: Dataset,
+    labels: np.ndarray,
+    arch: str,
+    input_shape: tuple[int, int] = (48, 48),
+    epochs: int = 30,
+    seed: int | np.random.Generator | None = 0,
+) -> CNNClassifier:
+    """Train the end model on images with (possibly weak) labels."""
+    rng = as_rng(seed)
+    model = CNNClassifier(arch=arch, n_classes=train.n_classes,
+                          input_shape=input_shape, epochs=epochs, seed=rng)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    can_split = len(train) >= 10 and np.bincount(
+        labels, minlength=train.n_classes).min() >= 2
+    x = dataset_to_tensor(train, input_shape)
+    if can_split:
+        n_val = max(2, len(train) // 5)
+        order = rng.permutation(len(train))
+        val_idx, train_idx = order[:n_val], order[n_val:]
+        model.fit(x[train_idx], labels[train_idx], x[val_idx], labels[val_idx])
+    else:
+        model.fit(x, labels)
+    return model
+
+
+def _merged_dataset(dev: Dataset, pool: Dataset) -> Dataset:
+    return Dataset(name=f"{dev.name}+weak", images=dev.images + pool.images,
+                   task=dev.task, class_names=list(dev.class_names))
+
+
+def end_model_comparison(
+    dev: Dataset,
+    pool: Dataset,
+    weak: WeakLabels,
+    test: Dataset,
+    arch: str,
+    input_shape: tuple[int, int] = (48, 48),
+    epochs: int = 30,
+    seed: int | np.random.Generator | None = 0,
+    confidence_threshold: float = 0.0,
+) -> tuple[float, float]:
+    """F1 of the end model trained on dev-only vs dev + weak-labeled pool.
+
+    ``confidence_threshold`` keeps only weak labels whose winning probability
+    reaches the threshold — trading pool coverage for label quality, which
+    matters when the labeler itself is noisy.
+    """
+    if len(weak) != len(pool):
+        raise ValueError("weak labels must cover the pool exactly")
+    rng = as_rng(seed)
+    model_dev = train_end_model(dev, dev.labels, arch, input_shape, epochs, rng)
+    f1_dev = f1_score(test.labels, model_dev.predict(
+        dataset_to_tensor(test, input_shape)), task=test.task)
+
+    if confidence_threshold > 0.0:
+        keep = weak.filter_confident(confidence_threshold)
+        if keep.size == 0:
+            keep = np.arange(len(pool))
+        pool = pool.subset(keep)
+        weak_labels = weak.labels[keep]
+    else:
+        weak_labels = weak.labels
+    merged = _merged_dataset(dev, pool)
+    merged_labels = np.concatenate([dev.labels, weak_labels])
+    model_weak = train_end_model(merged, merged_labels, arch, input_shape,
+                                 epochs, rng)
+    f1_weak = f1_score(test.labels, model_weak.predict(
+        dataset_to_tensor(test, input_shape)), task=test.task)
+    return f1_dev, f1_weak
+
+
+def tipping_point(
+    dev: Dataset,
+    extra_labeled: Dataset,
+    test: Dataset,
+    target_f1: float,
+    arch: str,
+    multipliers: tuple[float, ...] = (1.5, 2.0, 3.0, 4.0, 6.0),
+    input_shape: tuple[int, int] = (48, 48),
+    epochs: int = 30,
+    seed: int | np.random.Generator | None = 0,
+) -> float | None:
+    """Smallest dev-size multiplier whose dev-only end model reaches
+    ``target_f1``; ``None`` when even the largest multiplier falls short.
+
+    ``extra_labeled`` supplies the additional gold-labeled images (in the
+    paper these are simply more crowdsourced labels).
+    """
+    rng = as_rng(seed)
+    base = len(dev)
+    for mult in multipliers:
+        extra_needed = int(round(base * (mult - 1.0)))
+        if extra_needed > len(extra_labeled):
+            break
+        grown_extra, _ = (
+            stratified_split(extra_labeled, extra_needed, seed=rng)
+            if 0 < extra_needed < len(extra_labeled)
+            else (extra_labeled, None)
+        )
+        grown = _merged_dataset(dev, grown_extra)
+        model = train_end_model(grown, grown.labels, arch, input_shape,
+                                epochs, rng)
+        f1 = f1_score(test.labels, model.predict(
+            dataset_to_tensor(test, input_shape)), task=test.task)
+        if f1 >= target_f1:
+            return mult
+    return None

@@ -1,0 +1,265 @@
+"""Shared experiment harness used by the benchmark suite.
+
+Centralizes the plumbing every table/figure reproduction needs: build a
+dataset, run the crowdsourcing workflow once, hold the remaining images out
+as the test pool, and evaluate each labeling method with matched budgets.
+``ExperimentProfile`` bundles the compute knobs; benchmarks use
+``BENCH_PROFILE`` and the test suite uses ``FAST_PROFILE``.  EXPERIMENTS.md
+records the profile used for every reported number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.augment.augmenter import AugmentConfig
+from repro.augment.gan import RGANConfig
+from repro.augment.policy_search import PolicySearchConfig
+from repro.baselines.goggles import GogglesConfig, GogglesLabeler
+from repro.baselines.self_learning import SelfLearningBaseline
+from repro.baselines.snuba import Snuba, SnubaConfig
+from repro.baselines.transfer import (
+    TransferLearningBaseline,
+    pretrain_on_pretext,
+)
+from repro.core.config import InspectorGadgetConfig
+from repro.core.pipeline import InspectorGadget
+from repro.crowd.workflow import CrowdResult, CrowdsourcingWorkflow, WorkflowConfig
+from repro.datasets.base import Dataset
+from repro.datasets.registry import make_dataset
+from repro.eval.metrics import f1_score
+from repro.features.generator import FeatureGenerator
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "ExperimentProfile",
+    "ExperimentContext",
+    "FAST_PROFILE",
+    "BENCH_PROFILE",
+    "prepare_context",
+    "build_ig_config",
+    "run_inspector_gadget",
+    "run_snuba",
+    "run_goggles",
+    "run_self_learning",
+    "run_transfer",
+    "pretext_backbone",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Compute budget for one experiment run."""
+
+    scale: float = 0.1
+    n_images: int | None = 200
+    target_defective: int = 10
+    workflow_workers: int = 3
+    augment_mode: str = "both"
+    n_policy: int = 20
+    n_gan: int = 20
+    policy_max_combos: int | None = 8
+    rgan_epochs: int = 150
+    rgan_side_cap: int = 16
+    labeler_max_iter: int = 100
+    tune: bool = True
+    cnn_epochs: int = 30
+    cnn_input: tuple[int, int] = (48, 48)
+    cnn_width: int = 8
+    pretext_per_class: int = 25
+    pretext_epochs: int = 15
+    seed: int = 0
+
+
+FAST_PROFILE = ExperimentProfile(
+    scale=0.08,
+    n_images=60,
+    target_defective=4,
+    augment_mode="none",
+    n_policy=4,
+    n_gan=4,
+    policy_max_combos=2,
+    rgan_epochs=30,
+    rgan_side_cap=10,
+    labeler_max_iter=40,
+    tune=False,
+    cnn_epochs=8,
+    cnn_input=(24, 24),
+    pretext_per_class=8,
+    pretext_epochs=4,
+)
+
+BENCH_PROFILE = ExperimentProfile()
+
+
+@dataclass
+class ExperimentContext:
+    """One dataset with a finished crowd run and a held-out test pool."""
+
+    name: str
+    dataset: Dataset
+    crowd: CrowdResult
+    test: Dataset
+    profile: ExperimentProfile
+    _fg_cache: dict[int, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+
+    @property
+    def dev(self) -> Dataset:
+        return self.crowd.dev
+
+
+def prepare_context(
+    name: str,
+    profile: ExperimentProfile = BENCH_PROFILE,
+    dev_budget: int | None = None,
+    seed: int | None = None,
+) -> ExperimentContext:
+    """Generate the dataset, run the crowd workflow, split off the test pool.
+
+    ``dev_budget`` fixes the number of annotated images (Figure 9 sweeps);
+    otherwise annotation stops at ``profile.target_defective`` defectives.
+    """
+    seed = profile.seed if seed is None else seed
+    rng = as_rng(seed)
+    dataset = make_dataset(name, scale=profile.scale, seed=rng,
+                           n_images=profile.n_images)
+    workflow = CrowdsourcingWorkflow(
+        WorkflowConfig(n_workers=profile.workflow_workers,
+                       target_defective=profile.target_defective),
+        seed=rng,
+    )
+    if dev_budget is None:
+        crowd = workflow.run(dataset)
+    else:
+        crowd = workflow.run_fixed(dataset, dev_budget)
+    dev_set = set(crowd.dev_indices)
+    test = dataset.subset([i for i in range(len(dataset)) if i not in dev_set],
+                          name=f"{name}/test")
+    return ExperimentContext(name=name, dataset=dataset, crowd=crowd,
+                             test=test, profile=profile)
+
+
+def build_ig_config(
+    profile: ExperimentProfile,
+    mode: str | None = None,
+    n_policy: int | None = None,
+    n_gan: int | None = None,
+    seed: int | None = None,
+) -> InspectorGadgetConfig:
+    """Translate a profile into an Inspector Gadget configuration."""
+    return InspectorGadgetConfig(
+        workflow=WorkflowConfig(n_workers=profile.workflow_workers,
+                                target_defective=profile.target_defective),
+        augment=AugmentConfig(
+            mode=profile.augment_mode if mode is None else mode,
+            n_policy=profile.n_policy if n_policy is None else n_policy,
+            n_gan=profile.n_gan if n_gan is None else n_gan,
+            policy_search=PolicySearchConfig(
+                max_combos=profile.policy_max_combos,
+                per_pattern_augment=2,
+                labeler_max_iter=max(20, profile.labeler_max_iter // 2),
+            ),
+            rgan=RGANConfig(epochs=profile.rgan_epochs,
+                            side_cap=profile.rgan_side_cap),
+        ),
+        tune=profile.tune,
+        labeler_max_iter=profile.labeler_max_iter,
+        seed=profile.seed if seed is None else seed,
+    )
+
+
+def run_inspector_gadget(
+    ctx: ExperimentContext,
+    mode: str | None = None,
+    n_policy: int | None = None,
+    n_gan: int | None = None,
+    seed: int | None = None,
+) -> tuple[float, InspectorGadget]:
+    """Fit IG from the context's crowd result; return (test F1, pipeline)."""
+    config = build_ig_config(ctx.profile, mode=mode, n_policy=n_policy,
+                             n_gan=n_gan, seed=seed)
+    ig = InspectorGadget(config)
+    ig.fit_from_crowd(ctx.crowd, task=ctx.dataset.task,
+                      n_classes=ctx.dataset.n_classes)
+    weak = ig.predict(ctx.test)
+    return f1_score(ctx.test.labels, weak.labels, task=ctx.dataset.task), ig
+
+
+def _context_features(ctx: ExperimentContext) -> tuple[np.ndarray, np.ndarray]:
+    """Crowd-pattern FGF features for (dev, test), cached per context."""
+    key = id(ctx.crowd)
+    if key not in ctx._fg_cache:
+        fg = FeatureGenerator(ctx.crowd.patterns)
+        ctx._fg_cache[key] = (fg.transform(ctx.dev).values,
+                              fg.transform(ctx.test).values)
+    return ctx._fg_cache[key]
+
+
+def run_snuba(ctx: ExperimentContext,
+              config: SnubaConfig | None = None) -> float:
+    """Snuba over the same primitives (crowd-pattern similarities)."""
+    x_dev, x_test = _context_features(ctx)
+    snuba = Snuba(config or SnubaConfig(), n_classes=ctx.dataset.n_classes,
+                  task=ctx.dataset.task)
+    snuba.fit(x_dev, ctx.dev.labels)
+    return f1_score(ctx.test.labels, snuba.predict(x_test),
+                    task=ctx.dataset.task)
+
+
+def pretext_backbone(profile: ExperimentProfile):
+    """Train the profile's pretext backbone (the offline ImageNet stand-in).
+
+    Callers that fine-tune must pass a ``copy.deepcopy`` — fine-tuning
+    mutates the network in place.
+    """
+    return pretrain_on_pretext(
+        arch="vgg", input_shape=profile.cnn_input, width=profile.cnn_width,
+        epochs=profile.pretext_epochs, per_class=profile.pretext_per_class,
+        seed=profile.seed,
+    )
+
+
+def run_goggles(ctx: ExperimentContext,
+                config: GogglesConfig | None = None,
+                backbone=None) -> float:
+    """GOGGLES with the pretext-pretrained backbone, scored on the test pool."""
+    profile = ctx.profile
+    if backbone is None:
+        backbone = pretext_backbone(profile)
+    goggles = GogglesLabeler(backbone, config, seed=profile.seed)
+    pred = goggles.fit_predict(ctx.dataset, ctx.dev)
+    test_idx = [i for i in range(len(ctx.dataset))
+                if i not in set(ctx.crowd.dev_indices)]
+    return f1_score(ctx.dataset.labels[test_idx], pred[test_idx],
+                    task=ctx.dataset.task)
+
+
+def run_self_learning(ctx: ExperimentContext, arch: str = "vgg") -> float:
+    """A CNN trained on the dev set only (no pre-training)."""
+    profile = ctx.profile
+    baseline = SelfLearningBaseline(
+        arch=arch, input_shape=profile.cnn_input, width=profile.cnn_width,
+        epochs=profile.cnn_epochs, seed=profile.seed,
+    )
+    baseline.fit(ctx.dev)
+    return f1_score(ctx.test.labels, baseline.predict(ctx.test),
+                    task=ctx.dataset.task)
+
+
+def run_transfer(ctx: ExperimentContext, backbone=None) -> float:
+    """Fine-tune the pretext-pretrained CNN on the dev set.
+
+    ``backbone`` may be a pre-trained network to reuse; it is fine-tuned in
+    place, so pass a copy when sharing one backbone across runs.
+    """
+    profile = ctx.profile
+    if backbone is None:
+        backbone = pretext_backbone(profile)
+    baseline = TransferLearningBaseline(
+        backbone, fine_tune_epochs=profile.cnn_epochs, seed=profile.seed
+    )
+    baseline.fit(ctx.dev)
+    return f1_score(ctx.test.labels, baseline.predict(ctx.test),
+                    task=ctx.dataset.task)

@@ -1,0 +1,84 @@
+"""Accuracy measures.
+
+The paper reports F1 ("more suitable for data where the labels are
+imbalanced"): binary F1 on the defect class for the binary datasets and
+macro-averaged F1 for NEU's multi-class task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "precision_recall_f1",
+    "f1_macro",
+    "f1_score",
+    "accuracy",
+    "confusion_matrix",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    yt = np.asarray(y_true).reshape(-1)
+    yp = np.asarray(y_pred).reshape(-1)
+    if yt.shape != yp.shape:
+        raise ValueError(f"shape mismatch: y_true {yt.shape} vs y_pred {yp.shape}")
+    if yt.size == 0:
+        raise ValueError("empty label arrays")
+    return yt, yp
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1
+) -> tuple[float, float, float]:
+    """Precision, recall and F1 for the ``positive`` class.
+
+    Follows the paper's convention: with no predicted positives precision is
+    0, with no true positives recall is 0, and F1 is 0 when P + R == 0.
+    """
+    yt, yp = _validate(y_true, y_pred)
+    pred_pos = yp == positive
+    true_pos = yt == positive
+    tp = float(np.sum(pred_pos & true_pos))
+    precision = tp / pred_pos.sum() if pred_pos.any() else 0.0
+    recall = tp / true_pos.sum() if true_pos.any() else 0.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    return precision, recall, 2 * precision * recall / (precision + recall)
+
+
+def f1_macro(y_true: np.ndarray, y_pred: np.ndarray,
+             n_classes: int | None = None) -> float:
+    """Unweighted mean of per-class F1 scores (multi-class)."""
+    yt, yp = _validate(y_true, y_pred)
+    if n_classes is None:
+        n_classes = int(max(yt.max(), yp.max())) + 1
+    scores = [precision_recall_f1(yt, yp, positive=c)[2] for c in range(n_classes)]
+    return float(np.mean(scores))
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, task: str = "binary") -> float:
+    """Dispatch to binary F1 (positive class 1) or macro F1 by ``task``."""
+    if task == "binary":
+        return precision_recall_f1(y_true, y_pred, positive=1)[2]
+    if task == "multiclass":
+        return f1_macro(y_true, y_pred)
+    raise ValueError(f"task must be 'binary' or 'multiclass', got {task!r}")
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    yt, yp = _validate(y_true, y_pred)
+    return float(np.mean(yt == yp))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Counts[i, j] = examples with true class i predicted as class j."""
+    yt, yp = _validate(y_true, y_pred)
+    if n_classes is None:
+        n_classes = int(max(yt.max(), yp.max())) + 1
+    mat = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(mat, (yt, yp), 1)
+    return mat

@@ -1,0 +1,12 @@
+"""Feature generation functions (FGFs), Section 5.1 of the paper.
+
+Every pattern defines one FGF: slide the pattern over an image with NCC and
+return the best similarity.  The vector of all FGF outputs for an image is
+the labeler's input.  Unlike conventional labeling functions, FGFs return
+similarities (not labels) — the labeler learns how to combine them.
+"""
+
+from repro.features.fgf import FeatureGenerationFunction
+from repro.features.generator import FeatureGenerator, FeatureMatrix
+
+__all__ = ["FeatureGenerationFunction", "FeatureGenerator", "FeatureMatrix"]

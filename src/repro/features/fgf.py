@@ -1,0 +1,34 @@
+"""One pattern == one feature generation function."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.pyramid import PyramidMatcher
+from repro.patterns import Pattern
+
+__all__ = ["FeatureGenerationFunction"]
+
+
+class FeatureGenerationFunction:
+    """Callable wrapping one pattern: image -> max NCC similarity.
+
+    When the pattern is larger than the image along an axis (possible when
+    augmentation rescales patterns), the pattern is shrunk to fit — the
+    similarity semantics ("is something like this present?") survive the
+    rescale, and a hard failure would leak augmentation internals to callers.
+    """
+
+    def __init__(self, pattern: Pattern, matcher: PyramidMatcher | None = None):
+        self.pattern = pattern
+        self.matcher = matcher or PyramidMatcher()
+
+    def __call__(self, image: np.ndarray) -> float:
+        arr = self.pattern.array
+        ih, iw = image.shape
+        ph, pw = arr.shape
+        if ph > ih or pw > iw:
+            from repro.imaging.ops import resize  # local import avoids cycle
+
+            arr = resize(arr, (min(ph, ih), min(pw, iw)))
+        return self.matcher(image, arr).score

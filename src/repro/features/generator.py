@@ -1,0 +1,76 @@
+"""Batch feature generation: images x patterns similarity matrices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.features.fgf import FeatureGenerationFunction
+from repro.imaging.pyramid import PyramidMatcher
+from repro.patterns import Pattern
+
+__all__ = ["FeatureGenerator", "FeatureMatrix"]
+
+
+@dataclass
+class FeatureMatrix:
+    """Similarities of ``n`` images against ``p`` patterns, plus provenance.
+
+    ``pattern_labels`` carries each pattern's defect class so downstream
+    consumers (e.g. Snuba's class-conditional heuristics) can group columns.
+    """
+
+    values: np.ndarray  # (n, p)
+    pattern_labels: np.ndarray  # (p,)
+
+    def __post_init__(self) -> None:
+        if self.values.ndim != 2:
+            raise ValueError(f"values must be 2-D, got shape {self.values.shape}")
+        if self.pattern_labels.shape != (self.values.shape[1],):
+            raise ValueError("pattern_labels must have one entry per column")
+
+    @property
+    def n_images(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_patterns(self) -> int:
+        return self.values.shape[1]
+
+
+class FeatureGenerator:
+    """Matches a fixed pattern set against image collections.
+
+    The matcher (pyramid by default) is shared across FGFs; pass
+    ``PyramidMatcher(enabled=False)`` for exact matching.
+    """
+
+    def __init__(
+        self,
+        patterns: list[Pattern],
+        matcher: PyramidMatcher | None = None,
+    ):
+        if not patterns:
+            raise ValueError("FeatureGenerator needs at least one pattern")
+        self.matcher = matcher or PyramidMatcher()
+        self.fgfs = [FeatureGenerationFunction(p, self.matcher) for p in patterns]
+        self.patterns = patterns
+
+    def transform_images(self, images: list[np.ndarray]) -> FeatureMatrix:
+        """Compute the (len(images), n_patterns) similarity matrix."""
+        if not images:
+            raise ValueError("no images to transform")
+        values = np.empty((len(images), len(self.fgfs)))
+        for i, image in enumerate(images):
+            for j, fgf in enumerate(self.fgfs):
+                values[i, j] = fgf(image)
+        return FeatureMatrix(
+            values=values,
+            pattern_labels=np.array([p.label for p in self.patterns]),
+        )
+
+    def transform(self, dataset: Dataset) -> FeatureMatrix:
+        """Convenience wrapper over :meth:`transform_images` for a dataset."""
+        return self.transform_images([item.image for item in dataset.images])

@@ -1,0 +1,62 @@
+"""Image substrate: array conventions, geometric/photometric ops, NCC matching.
+
+Images are 2-D ``float64`` numpy arrays with values in ``[0, 1]`` and shape
+``(height, width)``.  Patterns (defect crops) use the same convention.  This
+package replaces the OpenCV functionality the paper relies on — in particular
+``matchTemplate(TM_CCORR_NORMED)`` (the paper's FGF formula) and image
+pyramids — plus the geometric operations used by policy-based augmentation.
+"""
+
+from repro.imaging.boxes import (
+    BoundingBox,
+    combine_boxes,
+    group_overlapping,
+    iou,
+)
+from repro.imaging.ncc import match_pattern, ncc_map
+from repro.imaging.ops import (
+    adjust_brightness,
+    adjust_contrast,
+    affine_transform,
+    clip01,
+    crop,
+    downsample,
+    flip_horizontal,
+    flip_vertical,
+    gaussian_noise,
+    invert,
+    pad_to,
+    resize,
+    rotate,
+    shear_x,
+    shear_y,
+    translate,
+)
+from repro.imaging.pyramid import PyramidMatcher, pyramid_match
+
+__all__ = [
+    "BoundingBox",
+    "combine_boxes",
+    "group_overlapping",
+    "iou",
+    "match_pattern",
+    "ncc_map",
+    "adjust_brightness",
+    "adjust_contrast",
+    "affine_transform",
+    "clip01",
+    "crop",
+    "downsample",
+    "flip_horizontal",
+    "flip_vertical",
+    "gaussian_noise",
+    "invert",
+    "pad_to",
+    "resize",
+    "rotate",
+    "shear_x",
+    "shear_y",
+    "translate",
+    "PyramidMatcher",
+    "pyramid_match",
+]

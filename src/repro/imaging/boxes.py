@@ -1,0 +1,169 @@
+"""Bounding boxes and the combine strategies of the crowdsourcing workflow.
+
+The paper (Section 3) merges overlapping worker boxes by *averaging* their
+coordinates and discusses two rejected alternatives — *union* (cover all
+overlapping boxes) and *intersection* (keep only the common region).  All
+three are implemented so the crowdsourcing ablation can exercise them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+__all__ = ["BoundingBox", "iou", "group_overlapping", "combine_boxes"]
+
+CombineStrategy = Literal["average", "union", "intersection"]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned box: top-left corner ``(y, x)`` plus ``height``/``width``.
+
+    Coordinates are floats so that averaged boxes keep sub-pixel precision;
+    use :meth:`to_int_slices` when cropping pixels.
+    """
+
+    y: float
+    x: float
+    height: float
+    width: float
+
+    def __post_init__(self) -> None:
+        if self.height <= 0 or self.width <= 0:
+            raise ValueError(
+                f"box must have positive size, got {self.height}x{self.width}"
+            )
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.height
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.width
+
+    @property
+    def area(self) -> float:
+        return self.height * self.width
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.y + self.height / 2.0, self.x + self.width / 2.0)
+
+    def intersection_area(self, other: "BoundingBox") -> float:
+        """Area of overlap with ``other`` (0 when disjoint)."""
+        dy = min(self.y2, other.y2) - max(self.y, other.y)
+        dx = min(self.x2, other.x2) - max(self.x, other.x)
+        if dy <= 0 or dx <= 0:
+            return 0.0
+        return dy * dx
+
+    def clip_to(self, shape: tuple[int, int]) -> "BoundingBox":
+        """Clip the box to an image of ``shape`` = (height, width)."""
+        h, w = shape
+        y0 = min(max(self.y, 0.0), h - 1.0)
+        x0 = min(max(self.x, 0.0), w - 1.0)
+        y1 = max(min(self.y2, float(h)), y0 + 1.0)
+        x1 = max(min(self.x2, float(w)), x0 + 1.0)
+        return BoundingBox(y0, x0, y1 - y0, x1 - x0)
+
+    def to_int_slices(self) -> tuple[slice, slice]:
+        """Integer row/column slices covering the box (at least 1 px each)."""
+        y0 = int(np.floor(self.y))
+        x0 = int(np.floor(self.x))
+        y1 = max(int(np.ceil(self.y2)), y0 + 1)
+        x1 = max(int(np.ceil(self.x2)), x0 + 1)
+        return slice(y0, y1), slice(x0, x1)
+
+    def scaled(self, factor: float) -> "BoundingBox":
+        """Scale all coordinates by ``factor`` (used by dataset re-scaling)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        return BoundingBox(
+            self.y * factor, self.x * factor, self.height * factor, self.width * factor
+        )
+
+
+def iou(a: BoundingBox, b: BoundingBox) -> float:
+    """Intersection-over-union of two boxes, in [0, 1]."""
+    inter = a.intersection_area(b)
+    if inter == 0.0:
+        return 0.0
+    return inter / (a.area + b.area - inter)
+
+
+def group_overlapping(
+    boxes: list[BoundingBox], iou_threshold: float = 0.2
+) -> list[list[int]]:
+    """Partition box indices into connected components of pairwise overlap.
+
+    Two boxes are connected when their IoU exceeds ``iou_threshold``; the
+    transitive closure forms groups.  Singleton groups are the workflow's
+    "outliers" that go to peer review.  Uses union-find, so it stays
+    near-linear in the number of overlapping pairs.
+    """
+    if not 0.0 <= iou_threshold < 1.0:
+        raise ValueError(f"iou_threshold must be in [0, 1), got {iou_threshold}")
+    n = len(boxes)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if iou(boxes[i], boxes[j]) > iou_threshold:
+                union(i, j)
+
+    groups: dict[int, list[int]] = {}
+    for i in range(n):
+        groups.setdefault(find(i), []).append(i)
+    # Stable order: by smallest member index.
+    return [groups[r] for r in sorted(groups, key=lambda r: groups[r][0])]
+
+
+def combine_boxes(
+    boxes: list[BoundingBox], strategy: CombineStrategy = "average"
+) -> BoundingBox:
+    """Merge a group of overlapping boxes into one.
+
+    ``average`` (the paper's choice) averages the four coordinates; ``union``
+    covers all boxes (tends to produce oversized patterns); ``intersection``
+    keeps only the common region (tends to produce tiny patterns).
+    """
+    if not boxes:
+        raise ValueError("cannot combine an empty list of boxes")
+    if len(boxes) == 1:
+        return boxes[0]
+    y1s = np.array([b.y for b in boxes])
+    x1s = np.array([b.x for b in boxes])
+    y2s = np.array([b.y2 for b in boxes])
+    x2s = np.array([b.x2 for b in boxes])
+    if strategy == "average":
+        y, x = y1s.mean(), x1s.mean()
+        y2, x2 = y2s.mean(), x2s.mean()
+    elif strategy == "union":
+        y, x = y1s.min(), x1s.min()
+        y2, x2 = y2s.max(), x2s.max()
+    elif strategy == "intersection":
+        y, x = y1s.max(), x1s.max()
+        y2, x2 = y2s.min(), x2s.min()
+        if y2 <= y or x2 <= x:
+            # Disjoint somewhere in the group: degrade to a 1-px box at the
+            # average center so the caller still gets a valid pattern seed.
+            cy, cx = y1s.mean(), x1s.mean()
+            return BoundingBox(cy, cx, 1.0, 1.0)
+    else:
+        raise ValueError(f"unknown combine strategy: {strategy!r}")
+    return BoundingBox(y, x, y2 - y, x2 - x)

@@ -1,0 +1,252 @@
+"""Geometric and photometric image operations on 2-D float arrays.
+
+All functions are pure (they never modify their input) and preserve the
+``[0, 1]`` value convention unless documented otherwise.  Geometric warps use
+inverse-mapped bilinear interpolation so that magnitudes compose smoothly —
+the property policy-based augmentation (Section 4.2 of the paper) depends on
+when it sweeps operation magnitudes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "clip01",
+    "as_image",
+    "affine_transform",
+    "resize",
+    "rotate",
+    "shear_x",
+    "shear_y",
+    "translate",
+    "flip_horizontal",
+    "flip_vertical",
+    "crop",
+    "pad_to",
+    "downsample",
+    "adjust_brightness",
+    "adjust_contrast",
+    "invert",
+    "gaussian_noise",
+]
+
+
+def as_image(array: np.ndarray) -> np.ndarray:
+    """Validate and coerce ``array`` to the 2-D float64 image convention."""
+    img = np.asarray(array, dtype=np.float64)
+    if img.ndim != 2:
+        raise ValueError(f"expected a 2-D image array, got shape {img.shape}")
+    if img.size == 0:
+        raise ValueError("image must be non-empty")
+    return img
+
+
+def clip01(image: np.ndarray) -> np.ndarray:
+    """Clip pixel values into [0, 1]."""
+    return np.clip(image, 0.0, 1.0)
+
+
+def _bilinear_sample(image: np.ndarray, ys: np.ndarray, xs: np.ndarray, fill: float) -> np.ndarray:
+    """Sample ``image`` at fractional coordinates with bilinear interpolation.
+
+    Coordinates outside the image evaluate to ``fill``.  ``ys``/``xs`` are
+    broadcast-compatible arrays of row/column positions.
+    """
+    h, w = image.shape
+    y0 = np.floor(ys).astype(np.int64)
+    x0 = np.floor(xs).astype(np.int64)
+    y1 = y0 + 1
+    x1 = x0 + 1
+    wy = ys - y0
+    wx = xs - x0
+
+    def gather(yi: np.ndarray, xi: np.ndarray) -> np.ndarray:
+        inside = (yi >= 0) & (yi < h) & (xi >= 0) & (xi < w)
+        yc = np.clip(yi, 0, h - 1)
+        xc = np.clip(xi, 0, w - 1)
+        vals = image[yc, xc]
+        return np.where(inside, vals, fill)
+
+    top = gather(y0, x0) * (1 - wx) + gather(y0, x1) * wx
+    bot = gather(y1, x0) * (1 - wx) + gather(y1, x1) * wx
+    return top * (1 - wy) + bot * wy
+
+
+def affine_transform(
+    image: np.ndarray,
+    matrix: np.ndarray,
+    output_shape: tuple[int, int] | None = None,
+    fill: float = 0.0,
+) -> np.ndarray:
+    """Warp ``image`` with the *inverse* affine map ``matrix`` (2x3).
+
+    For each output pixel ``(y, x)`` the source location is
+    ``matrix @ [y, x, 1]`` (row-major convention).  This inverse-mapping
+    formulation avoids holes in the output.
+    """
+    image = as_image(image)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape != (2, 3):
+        raise ValueError(f"matrix must be 2x3, got {matrix.shape}")
+    out_h, out_w = output_shape if output_shape is not None else image.shape
+    yy, xx = np.meshgrid(np.arange(out_h), np.arange(out_w), indexing="ij")
+    src_y = matrix[0, 0] * yy + matrix[0, 1] * xx + matrix[0, 2]
+    src_x = matrix[1, 0] * yy + matrix[1, 1] * xx + matrix[1, 2]
+    return _bilinear_sample(image, src_y, src_x, fill)
+
+
+def resize(image: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Resize ``image`` to ``shape`` = (height, width) with bilinear sampling.
+
+    Uses corner-aligned inverse mapping, so resizing to the same shape is the
+    identity (up to float rounding) and round-trips are stable.
+    """
+    image = as_image(image)
+    out_h, out_w = int(shape[0]), int(shape[1])
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"target shape must be positive, got {shape}")
+    in_h, in_w = image.shape
+    # Map output pixel centers onto input pixel centers.
+    sy = in_h / out_h
+    sx = in_w / out_w
+    ys = (np.arange(out_h) + 0.5) * sy - 0.5
+    xs = (np.arange(out_w) + 0.5) * sx - 0.5
+    yy, xx = np.meshgrid(ys, xs, indexing="ij")
+    # Clamp to borders: resize should not introduce fill values.
+    yy = np.clip(yy, 0, in_h - 1)
+    xx = np.clip(xx, 0, in_w - 1)
+    return _bilinear_sample(image, yy, xx, fill=0.0)
+
+
+def rotate(image: np.ndarray, degrees: float, fill: float = 0.0) -> np.ndarray:
+    """Rotate around the image center by ``degrees`` (counter-clockwise).
+
+    Output keeps the input shape; exposed corners take ``fill``.
+    """
+    image = as_image(image)
+    theta = np.deg2rad(degrees)
+    cy = (image.shape[0] - 1) / 2.0
+    cx = (image.shape[1] - 1) / 2.0
+    cos_t, sin_t = np.cos(theta), np.sin(theta)
+    # Inverse rotation: output -> source.
+    matrix = np.array(
+        [
+            [cos_t, sin_t, cy - cos_t * cy - sin_t * cx],
+            [-sin_t, cos_t, cx + sin_t * cy - cos_t * cx],
+        ]
+    )
+    return affine_transform(image, matrix, fill=fill)
+
+
+def shear_x(image: np.ndarray, factor: float, fill: float = 0.0) -> np.ndarray:
+    """Shear horizontally: each row shifts by ``factor * (row - center)``."""
+    image = as_image(image)
+    cy = (image.shape[0] - 1) / 2.0
+    matrix = np.array([[1.0, 0.0, 0.0], [-factor, 1.0, factor * cy]])
+    return affine_transform(image, matrix, fill=fill)
+
+
+def shear_y(image: np.ndarray, factor: float, fill: float = 0.0) -> np.ndarray:
+    """Shear vertically: each column shifts by ``factor * (col - center)``."""
+    image = as_image(image)
+    cx = (image.shape[1] - 1) / 2.0
+    matrix = np.array([[1.0, -factor, factor * cx], [0.0, 1.0, 0.0]])
+    return affine_transform(image, matrix, fill=fill)
+
+
+def translate(image: np.ndarray, dy: float, dx: float, fill: float = 0.0) -> np.ndarray:
+    """Shift the image content by ``(dy, dx)`` pixels (positive = down/right)."""
+    image = as_image(image)
+    matrix = np.array([[1.0, 0.0, -dy], [0.0, 1.0, -dx]])
+    return affine_transform(image, matrix, fill=fill)
+
+
+def flip_horizontal(image: np.ndarray) -> np.ndarray:
+    """Mirror the image left-right."""
+    return as_image(image)[:, ::-1].copy()
+
+
+def flip_vertical(image: np.ndarray) -> np.ndarray:
+    """Mirror the image top-bottom."""
+    return as_image(image)[::-1, :].copy()
+
+
+def crop(image: np.ndarray, y: int, x: int, height: int, width: int) -> np.ndarray:
+    """Extract the ``height x width`` window whose top-left corner is (y, x).
+
+    The window is clipped to the image bounds; raises if the clipped window
+    is empty.
+    """
+    image = as_image(image)
+    if height <= 0 or width <= 0:
+        raise ValueError(f"crop size must be positive, got {height}x{width}")
+    y0 = max(0, int(y))
+    x0 = max(0, int(x))
+    y1 = min(image.shape[0], int(y) + int(height))
+    x1 = min(image.shape[1], int(x) + int(width))
+    if y0 >= y1 or x0 >= x1:
+        raise ValueError(
+            f"crop ({y},{x},{height},{width}) does not intersect image of shape {image.shape}"
+        )
+    return image[y0:y1, x0:x1].copy()
+
+
+def pad_to(image: np.ndarray, shape: tuple[int, int], fill: float = 0.0) -> np.ndarray:
+    """Center-pad ``image`` with ``fill`` up to ``shape`` (no-op per axis if larger)."""
+    image = as_image(image)
+    out_h = max(int(shape[0]), image.shape[0])
+    out_w = max(int(shape[1]), image.shape[1])
+    out = np.full((out_h, out_w), fill, dtype=np.float64)
+    oy = (out_h - image.shape[0]) // 2
+    ox = (out_w - image.shape[1]) // 2
+    out[oy : oy + image.shape[0], ox : ox + image.shape[1]] = image
+    return out
+
+
+def downsample(image: np.ndarray, factor: int) -> np.ndarray:
+    """Reduce resolution by integer ``factor`` using block averaging.
+
+    Trailing rows/columns that do not fill a complete block are dropped,
+    matching classic pyramid construction.  ``factor=1`` returns a copy.
+    """
+    image = as_image(image)
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if factor == 1:
+        return image.copy()
+    h = (image.shape[0] // factor) * factor
+    w = (image.shape[1] // factor) * factor
+    if h == 0 or w == 0:
+        raise ValueError(
+            f"image of shape {image.shape} too small to downsample by {factor}"
+        )
+    blocks = image[:h, :w].reshape(h // factor, factor, w // factor, factor)
+    return blocks.mean(axis=(1, 3))
+
+
+def adjust_brightness(image: np.ndarray, factor: float) -> np.ndarray:
+    """Scale pixel values by ``factor`` (>1 brightens), clipped to [0, 1]."""
+    return clip01(as_image(image) * factor)
+
+
+def adjust_contrast(image: np.ndarray, factor: float) -> np.ndarray:
+    """Stretch values around the image mean by ``factor``, clipped to [0, 1]."""
+    image = as_image(image)
+    mean = image.mean()
+    return clip01((image - mean) * factor + mean)
+
+
+def invert(image: np.ndarray) -> np.ndarray:
+    """Photometric negative: ``1 - image``."""
+    return 1.0 - as_image(image)
+
+
+def gaussian_noise(
+    image: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Add zero-mean Gaussian noise with std ``sigma``, clipped to [0, 1]."""
+    image = as_image(image)
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    return clip01(image + rng.normal(0.0, sigma, size=image.shape))

@@ -1,0 +1,127 @@
+"""Coarse-to-fine pyramid matching (Section 5.1's acceleration).
+
+Scanning every pattern over every full-resolution image is the dominant cost
+of feature generation.  The paper adopts the classic pyramid method
+[Adelson et al. 1984]: first match at reduced resolution to find candidate
+regions, then re-match at full resolution only inside those regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.ncc import MatchResult, match_pattern, ncc_map
+from repro.imaging.ops import as_image, crop, downsample
+
+__all__ = ["pyramid_match", "PyramidMatcher"]
+
+# Below this pattern side length (after downsampling) the coarse level no
+# longer discriminates, so we fall back to exact matching.
+_MIN_COARSE_SIDE = 3
+
+
+def _top_k_peaks(response: np.ndarray, k: int, min_distance: int) -> list[tuple[int, int]]:
+    """Greedy non-maximum suppression: up to ``k`` peaks ``min_distance`` apart."""
+    resp = response.copy()
+    peaks: list[tuple[int, int]] = []
+    for _ in range(k):
+        flat_idx = int(np.argmax(resp))
+        y, x = np.unravel_index(flat_idx, resp.shape)
+        if resp[y, x] <= 0:
+            break
+        peaks.append((int(y), int(x)))
+        y0 = max(0, y - min_distance)
+        x0 = max(0, x - min_distance)
+        resp[y0 : y + min_distance + 1, x0 : x + min_distance + 1] = -1.0
+    return peaks
+
+
+def pyramid_match(
+    image: np.ndarray,
+    pattern: np.ndarray,
+    factor: int = 4,
+    candidates: int = 3,
+    margin: int | None = None,
+    zero_mean: bool = False,
+) -> MatchResult:
+    """Best NCC match using a two-level pyramid.
+
+    ``factor`` is the coarse-level downsampling; ``candidates`` is how many
+    coarse peaks are refined at full resolution; ``margin`` is the extra
+    full-resolution border searched around each candidate (defaults to
+    ``factor`` pixels on each side, enough to recover the exact peak since
+    one coarse pixel covers ``factor`` fine pixels).
+
+    Falls back to exact matching when the pattern or image would become
+    degenerate at the coarse level, so the function never silently loses
+    small patterns — only speed, never correctness of the fallback path.
+    """
+    image = as_image(image)
+    pattern = as_image(pattern)
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if candidates < 1:
+        raise ValueError(f"candidates must be >= 1, got {candidates}")
+    h, w = pattern.shape
+    coarse_ok = (
+        factor > 1
+        and min(h, w) // factor >= _MIN_COARSE_SIDE
+        and image.shape[0] // factor > h // factor
+        and image.shape[1] // factor > w // factor
+    )
+    if not coarse_ok:
+        return match_pattern(image, pattern, zero_mean=zero_mean)
+
+    coarse_image = downsample(image, factor)
+    coarse_pattern = downsample(pattern, factor)
+    coarse_resp = ncc_map(coarse_image, coarse_pattern, zero_mean=zero_mean)
+    min_dist = max(1, min(coarse_pattern.shape) // 2)
+    peaks = _top_k_peaks(coarse_resp, candidates, min_dist)
+    if not peaks:
+        return match_pattern(image, pattern, zero_mean=zero_mean)
+
+    if margin is None:
+        margin = factor
+    best = MatchResult(score=-1.0, y=0, x=0)
+    for cy, cx in peaks:
+        # Map the coarse peak back to full resolution and search a window
+        # of (pattern size + 2*margin) around it.
+        fy = cy * factor
+        fx = cx * factor
+        y0 = max(0, fy - margin)
+        x0 = max(0, fx - margin)
+        win_h = h + 2 * margin
+        win_w = w + 2 * margin
+        window = crop(image, y0, x0, win_h, win_w)
+        if window.shape[0] < h or window.shape[1] < w:
+            continue
+        local = match_pattern(window, pattern, zero_mean=zero_mean)
+        if local.score > best.score:
+            best = MatchResult(score=local.score, y=y0 + local.y, x=x0 + local.x)
+    if best.score < 0:
+        return match_pattern(image, pattern, zero_mean=zero_mean)
+    return best
+
+
+@dataclass
+class PyramidMatcher:
+    """Configured pyramid matcher usable as a drop-in matching callable.
+
+    ``enabled=False`` degrades to exact matching, which the feature-generator
+    benchmarks use to quantify the pyramid speed-up.
+    """
+
+    factor: int = 4
+    candidates: int = 3
+    enabled: bool = True
+    zero_mean: bool = False
+
+    def __call__(self, image: np.ndarray, pattern: np.ndarray) -> MatchResult:
+        if not self.enabled:
+            return match_pattern(image, pattern, zero_mean=self.zero_mean)
+        return pyramid_match(
+            image, pattern, factor=self.factor, candidates=self.candidates,
+            zero_mean=self.zero_mean,
+        )

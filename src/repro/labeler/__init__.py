@@ -1,0 +1,31 @@
+"""The labeler (Section 5.2): a small MLP over FGF similarities.
+
+Trained with L-BFGS (stable on small data), validated with k-fold cross
+validation and early stopping, and *tuned*: Inspector Gadget searches MLP
+architectures (1-3 hidden layers, power-of-two widths up to the input size)
+and keeps the one with the best development-set accuracy — the paper's
+Figure 11 shows this lands near the best architecture available.
+"""
+
+from repro.labeler.mlp import MLPLabeler
+from repro.labeler.novelty import NoveltyDetector, NoveltyReport
+from repro.labeler.tuning import (
+    TuningResult,
+    candidate_architectures,
+    candidate_widths,
+    kfold_indices,
+    tune_labeler,
+)
+from repro.labeler.weak_labels import WeakLabels
+
+__all__ = [
+    "MLPLabeler",
+    "NoveltyDetector",
+    "NoveltyReport",
+    "TuningResult",
+    "candidate_architectures",
+    "candidate_widths",
+    "kfold_indices",
+    "tune_labeler",
+    "WeakLabels",
+]

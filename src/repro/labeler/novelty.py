@@ -1,0 +1,111 @@
+"""Novel-defect detection (the paper's open-set extension).
+
+Section 7 notes that Inspector Gadget assumes a fixed set of defects "but it
+can be extended with [novel class detection] techniques".  This module adds
+that extension: a detector that flags images whose FGF similarity profile
+does not resemble *any* training image — i.e. a defect type no pattern
+covers, or an entirely new surface condition.
+
+The detector is deliberately simple and auditable: it models the training
+feature vectors with per-column Gaussian statistics plus a nearest-neighbor
+distance threshold calibrated to a target false-novelty rate on the
+development set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+__all__ = ["NoveltyDetector", "NoveltyReport"]
+
+
+@dataclass
+class NoveltyReport:
+    """Per-image novelty decisions and scores (higher = more novel)."""
+
+    scores: np.ndarray
+    is_novel: np.ndarray
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.scores.shape != self.is_novel.shape:
+            raise ValueError("scores and is_novel must align")
+
+    @property
+    def novel_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.is_novel)
+
+
+class NoveltyDetector:
+    """Distance-to-dev-set novelty scoring over FGF feature vectors.
+
+    The score of an image is its standardized nearest-neighbor distance to
+    the development-set feature vectors; the threshold is the
+    ``(1 - target_false_rate)`` quantile of the dev set's own leave-one-out
+    scores, so roughly that fraction of known-type images stays below it.
+    """
+
+    def __init__(self, target_false_rate: float = 0.05):
+        check_probability("target_false_rate", target_false_rate)
+        self.target_false_rate = target_false_rate
+        self._dev: np.ndarray | None = None
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+        self.threshold_: float | None = None
+
+    def _standardize(self, x: np.ndarray) -> np.ndarray:
+        return (x - self._mu) / self._sigma
+
+    def _nn_distance(self, x: np.ndarray, exclude_self: bool = False) -> np.ndarray:
+        """Nearest-neighbor Euclidean distance to the dev set."""
+        diffs = x[:, None, :] - self._dev[None, :, :]
+        d2 = np.einsum("ijk,ijk->ij", diffs, diffs)
+        if exclude_self:
+            np.fill_diagonal(d2, np.inf)
+        return np.sqrt(d2.min(axis=1))
+
+    def fit(self, dev_features: np.ndarray) -> "NoveltyDetector":
+        """Calibrate on the development set's FGF feature matrix (n, p)."""
+        x = np.asarray(dev_features, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] < 3:
+            raise ValueError(
+                f"need a (n>=3, p) dev feature matrix, got shape {x.shape}"
+            )
+        self._mu = x.mean(axis=0)
+        self._sigma = x.std(axis=0)
+        self._sigma[self._sigma < 1e-8] = 1.0
+        self._dev = self._standardize(x)
+        loo = self._nn_distance(self._dev, exclude_self=True)
+        self.threshold_ = float(
+            np.quantile(loo, 1.0 - self.target_false_rate)
+        )
+        # Guard: a degenerate dev set (identical rows) yields threshold 0;
+        # any numeric jitter would then read as novel.
+        self.threshold_ = max(self.threshold_, 1e-6)
+        return self
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        """Novelty scores for a feature matrix (n, p)."""
+        if self._dev is None:
+            raise RuntimeError("detector must be fit first")
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self._dev.shape[1]:
+            raise ValueError(
+                f"expected features of shape (n, {self._dev.shape[1]}), "
+                f"got {x.shape}"
+            )
+        return self._nn_distance(self._standardize(x))
+
+    def detect(self, features: np.ndarray) -> NoveltyReport:
+        """Score and threshold a feature matrix."""
+        scores = self.score(features)
+        assert self.threshold_ is not None
+        return NoveltyReport(
+            scores=scores,
+            is_novel=scores > self.threshold_,
+            threshold=self.threshold_,
+        )

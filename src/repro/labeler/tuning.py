@@ -1,0 +1,193 @@
+"""Model tuning (Section 5.2 / Figure 11).
+
+Inspector Gadget searches MLP architectures — 1 to 3 hidden layers, each
+width drawn from {2^n | n = 1..m, 2^(m-1) <= I <= 2^m} where I is the input
+dimension — and keeps the architecture with the best k-fold cross-validated
+F1 on the development set.  Folds keep at least ``min_per_class`` examples
+of every class when the data allows (the paper uses 20), and each fold's
+training uses early stopping against the held-out fold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eval.metrics import f1_score
+from repro.labeler.mlp import MLPLabeler
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "candidate_widths",
+    "candidate_architectures",
+    "kfold_indices",
+    "tune_labeler",
+    "TuningResult",
+]
+
+
+def candidate_widths(input_dim: int) -> list[int]:
+    """Power-of-two widths up to the smallest power of two >= input_dim."""
+    if input_dim < 1:
+        raise ValueError(f"input_dim must be >= 1, got {input_dim}")
+    m = max(1, int(np.ceil(np.log2(max(input_dim, 2)))))
+    return [2**n for n in range(1, m + 1)]
+
+
+def candidate_architectures(
+    input_dim: int, max_layers: int = 3
+) -> list[tuple[int, ...]]:
+    """Uniform-width architectures with 1..max_layers hidden layers."""
+    if max_layers < 1:
+        raise ValueError(f"max_layers must be >= 1, got {max_layers}")
+    widths = candidate_widths(input_dim)
+    return [
+        (w,) * depth for depth in range(1, max_layers + 1) for w in widths
+    ]
+
+
+def kfold_indices(
+    labels: np.ndarray,
+    k: int,
+    seed: int | np.random.Generator | None = 0,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Stratified k-fold split indices as (train, validation) pairs."""
+    labels = np.asarray(labels).reshape(-1)
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    rng = as_rng(seed)
+    fold_of = np.empty(labels.size, dtype=np.int64)
+    for c in np.unique(labels):
+        members = np.flatnonzero(labels == c)
+        rng.shuffle(members)
+        fold_of[members] = np.arange(members.size) % k
+    folds = []
+    for f in range(k):
+        val = np.flatnonzero(fold_of == f)
+        train = np.flatnonzero(fold_of != f)
+        if val.size == 0 or train.size == 0:
+            raise ValueError(
+                f"fold {f} is degenerate; too few examples for k={k}"
+            )
+        folds.append((train, val))
+    return folds
+
+
+def choose_n_folds(labels: np.ndarray, min_per_class: int = 20,
+                   max_folds: int = 5) -> int:
+    """Largest k <= max_folds keeping ~min_per_class of each class per fold.
+
+    Falls back to 2 folds when classes are small — cross validation must
+    still function on the tiny development sets of Figure 9's sweeps.
+    """
+    labels = np.asarray(labels).reshape(-1)
+    counts = np.bincount(labels)
+    smallest = int(counts[counts > 0].min())
+    k = smallest // max(min_per_class, 1)
+    return int(np.clip(k, 2, max_folds))
+
+
+@dataclass
+class TuningResult:
+    """Chosen architecture plus the full score table."""
+
+    best_hidden: tuple[int, ...]
+    best_score: float
+    scores: dict[tuple[int, ...], float] = field(default_factory=dict)
+    labeler: MLPLabeler | None = None
+
+
+def _stratified_holdout(
+    y: np.ndarray, n_val: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """(train_idx, val_idx) keeping class proportions in the val split.
+
+    With the heavy class imbalance of defect data, a plain random split can
+    strip the train side of nearly all positives and collapse the model.
+    """
+    val_idx: list[int] = []
+    classes = np.unique(y)
+    for c in classes:
+        members = np.flatnonzero(y == c)
+        rng.shuffle(members)
+        take = max(1, int(round(n_val * members.size / y.size)))
+        take = min(take, members.size - 1) if members.size > 1 else 0
+        val_idx.extend(members[:take].tolist())
+    val = np.array(sorted(val_idx), dtype=np.int64)
+    train = np.setdiff1d(np.arange(y.size), val)
+    return train, val
+
+
+def _final_fit(
+    labeler: MLPLabeler,
+    x: np.ndarray,
+    y: np.ndarray,
+    seed: int | np.random.Generator | None,
+) -> None:
+    """Train the final model on all data with an internal early-stop split."""
+    rng = as_rng(seed)
+    n = x.shape[0]
+    if n >= 10 and np.bincount(y).min(initial=n) >= 2:
+        train_idx, val_idx = _stratified_holdout(y, max(2, n // 5), rng)
+        labeler.fit(x[train_idx], y[train_idx], x[val_idx], y[val_idx])
+    else:
+        labeler.fit(x, y)
+    # Degeneracy guard: if the trained model collapses to a single class on
+    # its own training data while the labels have several classes, retrain
+    # on everything without early stopping (the split was too unlucky).
+    pred = labeler.predict(x)
+    if len(np.unique(y)) > 1 and len(np.unique(pred)) == 1:
+        labeler.fit(x, y)
+
+
+def tune_labeler(
+    x: np.ndarray,
+    y: np.ndarray,
+    n_classes: int = 2,
+    task: str = "binary",
+    seed: int | np.random.Generator | None = 0,
+    max_layers: int = 3,
+    min_per_class: int = 20,
+    max_iter: int = 150,
+    architectures: list[tuple[int, ...]] | None = None,
+) -> TuningResult:
+    """Search architectures by k-fold CV and return the best, fully trained.
+
+    ``architectures`` overrides the default grid (used by Figure 11's
+    min/max analysis, which evaluates every candidate on test data).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64).reshape(-1)
+    if x.ndim != 2 or x.shape[0] != y.size:
+        raise ValueError(f"inconsistent shapes: x {x.shape}, y {y.shape}")
+    rng = as_rng(seed)
+    grid = architectures or candidate_architectures(x.shape[1], max_layers)
+    k = choose_n_folds(y, min_per_class=min_per_class)
+    folds = kfold_indices(y, k, seed=rng)
+
+    scores: dict[tuple[int, ...], float] = {}
+    for hidden in grid:
+        fold_scores = []
+        for train_idx, val_idx in folds:
+            labeler = MLPLabeler(
+                input_dim=x.shape[1], hidden=hidden, n_classes=n_classes,
+                seed=rng, max_iter=max_iter,
+            )
+            labeler.fit(x[train_idx], y[train_idx], x[val_idx], y[val_idx])
+            pred = labeler.predict(x[val_idx])
+            fold_scores.append(f1_score(y[val_idx], pred, task=task))
+        scores[hidden] = float(np.mean(fold_scores))
+
+    best_hidden = max(scores, key=lambda h: (scores[h], -len(h), -h[0]))
+    final = MLPLabeler(
+        input_dim=x.shape[1], hidden=best_hidden, n_classes=n_classes,
+        seed=rng, max_iter=max_iter,
+    )
+    _final_fit(final, x, y, rng)
+    return TuningResult(
+        best_hidden=best_hidden,
+        best_score=scores[best_hidden],
+        scores=scores,
+        labeler=final,
+    )

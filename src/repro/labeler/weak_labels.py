@@ -1,0 +1,50 @@
+"""Weak-label containers produced by the labeler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WeakLabels"]
+
+
+@dataclass
+class WeakLabels:
+    """Probabilistic weak labels for a batch of images.
+
+    ``probs`` has shape (n, n_classes); ``labels`` are the argmax classes;
+    ``confidence`` is the winning probability, useful when an end model wants
+    to weight or filter weak examples.
+    """
+
+    probs: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.probs = np.asarray(self.probs, dtype=np.float64)
+        if self.probs.ndim != 2:
+            raise ValueError(f"probs must be 2-D, got shape {self.probs.shape}")
+        rows = self.probs.sum(axis=1)
+        if not np.allclose(rows, 1.0, atol=1e-6):
+            raise ValueError("probability rows must sum to 1")
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.probs.argmax(axis=1)
+
+    @property
+    def confidence(self) -> np.ndarray:
+        return self.probs.max(axis=1)
+
+    @property
+    def n_classes(self) -> int:
+        return self.probs.shape[1]
+
+    def __len__(self) -> int:
+        return self.probs.shape[0]
+
+    def filter_confident(self, threshold: float) -> np.ndarray:
+        """Indices whose confidence reaches ``threshold``."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        return np.flatnonzero(self.confidence >= threshold)

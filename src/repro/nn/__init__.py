@@ -1,0 +1,61 @@
+"""Minimal neural-network substrate (replaces PyTorch/TensorFlow).
+
+Implements exactly what the paper's models need: dense and convolutional
+layers with manual backpropagation, binary/softmax losses, SGD/Adam for the
+GAN, an L-BFGS trainer (the paper trains its MLP labeler with L-BFGS), and
+spectral normalization for the RGAN discriminator.
+
+Array conventions: dense inputs are ``(batch, features)``; convolutional
+inputs are ``(batch, channels, height, width)``.  All parameters are float64
+for stable L-BFGS line searches.
+"""
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Layer,
+    LeakyReLU,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import (
+    BinaryCrossEntropyWithLogits,
+    SoftmaxCrossEntropy,
+    rgan_discriminator_loss,
+    rgan_generator_loss,
+)
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, Adam, LBFGSTrainer
+from repro.nn.spectral_norm import SpectralNormDense
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm",
+    "Dropout",
+    "Flatten",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Sequential",
+    "BinaryCrossEntropyWithLogits",
+    "SoftmaxCrossEntropy",
+    "rgan_discriminator_loss",
+    "rgan_generator_loss",
+    "SGD",
+    "Adam",
+    "LBFGSTrainer",
+    "SpectralNormDense",
+]

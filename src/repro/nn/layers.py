@@ -1,0 +1,469 @@
+"""Layers with explicit forward/backward passes.
+
+Each layer caches whatever its backward pass needs during forward, writes
+parameter gradients into preallocated arrays (``grads()``), and returns the
+gradient with respect to its input from ``backward``.  Gradient correctness
+is verified against central finite differences in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Flatten",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm",
+]
+
+
+class Layer:
+    """Base class: stateless layers only override ``forward``/``backward``."""
+
+    training: bool = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> list[np.ndarray]:
+        """Trainable parameter arrays (mutated in place by optimizers)."""
+        return []
+
+    def grads(self) -> list[np.ndarray]:
+        """Gradient arrays aligned with :meth:`params`."""
+        return []
+
+    def set_training(self, mode: bool) -> None:
+        self.training = mode
+
+    def zero_grad(self) -> None:
+        for g in self.grads():
+            g.fill(0.0)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b`` with He/Xavier initialization."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: int | np.random.Generator | None = None,
+        init: str = "he",
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = as_rng(rng)
+        if init == "he":
+            scale = np.sqrt(2.0 / in_features)
+        elif init == "xavier":
+            scale = np.sqrt(1.0 / in_features)
+        else:
+            raise ValueError(f"unknown init scheme: {init!r}")
+        self.weight = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_weight += self._x.T @ grad_out
+        self.grad_bias += grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class LeakyReLU(Layer):
+    def __init__(self, slope: float = 0.2):
+        if slope < 0:
+            raise ValueError(f"slope must be >= 0, got {slope}")
+        self.slope = slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.slope * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_out, self.slope * grad_out)
+
+
+class Sigmoid(Layer):
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Numerically stable split for positive/negative inputs: each branch
+        # is evaluated only where its exponent cannot overflow.
+        y = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ez = np.exp(x[~pos])
+        y[~pos] = ez / (1.0 + ez)
+        self._y = y
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._y * (1.0 - self._y)
+
+
+class Tanh(Layer):
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._y**2)
+
+
+class Dropout(Layer):
+    """Inverted dropout: identity at evaluation time."""
+
+    def __init__(self, p: float = 0.5, rng: int | np.random.Generator | None = None):
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = as_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions: (N, ...) -> (N, prod(...))."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> tuple[np.ndarray, int, int]:
+    """Unfold (N, C, H, W) into columns (N, out_h, out_w, C*kh*kw)."""
+    n, c, h, w = x.shape
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # -> (N, out_h, out_w, C, kh, kw) -> columns
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h, out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+class Conv2d(Layer):
+    """2-D convolution via im2col; input (N, C, H, W), 'same'-style padding."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        groups: int = 1,
+        rng: int | np.random.Generator | None = None,
+    ):
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("in_channels and out_channels must be divisible by groups")
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("kernel_size/stride must be positive, padding non-negative")
+        rng = as_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = rng.normal(
+            0.0, scale, size=(out_channels, in_channels // groups, kernel_size, kernel_size)
+        )
+        self.bias = np.zeros(out_channels)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        self._x_shape = x.shape
+        n = x.shape[0]
+        k = self.kernel_size
+        g = self.groups
+        cig = self.in_channels // g
+        cog = self.out_channels // g
+        outs = []
+        self._cols = []
+        for gi in range(g):
+            xg = x[:, gi * cig : (gi + 1) * cig]
+            cols, out_h, out_w = _im2col(xg, k, k, self.stride, self.padding)
+            self._cols.append(cols)
+            wg = self.weight[gi * cog : (gi + 1) * cog].reshape(cog, -1)
+            out = cols @ wg.T  # (N, out_h, out_w, cog)
+            outs.append(out)
+        y = np.concatenate(outs, axis=-1)  # (N, out_h, out_w, C_out)
+        y = y + self.bias
+        self._out_hw = (out_h, out_w)
+        return np.ascontiguousarray(y.transpose(0, 3, 1, 2))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, _, out_h, out_w = grad_out.shape
+        k = self.kernel_size
+        g = self.groups
+        cig = self.in_channels // g
+        cog = self.out_channels // g
+        go = grad_out.transpose(0, 2, 3, 1)  # (N, out_h, out_w, C_out)
+        self.grad_bias += go.sum(axis=(0, 1, 2))
+        grad_x = np.zeros(self._x_shape)
+        _, _, h, w = self._x_shape
+        pad = self.padding
+        padded_shape = (n, cig, h + 2 * pad, w + 2 * pad)
+        for gi in range(g):
+            gog = go[..., gi * cog : (gi + 1) * cog]  # (N, oh, ow, cog)
+            cols = self._cols[gi]  # (N, oh, ow, cig*k*k)
+            gw = np.einsum("nhwc,nhwk->ck", gog, cols)
+            self.grad_weight[gi * cog : (gi + 1) * cog] += gw.reshape(cog, cig, k, k)
+            wg = self.weight[gi * cog : (gi + 1) * cog].reshape(cog, -1)
+            gcols = gog @ wg  # (N, oh, ow, cig*k*k)
+            gcols = gcols.reshape(n, out_h, out_w, cig, k, k)
+            # col2im: scatter-add windows back into the padded input.
+            gx_pad = np.zeros(padded_shape)
+            for ky in range(k):
+                for kx in range(k):
+                    gx_pad[
+                        :,
+                        :,
+                        ky : ky + out_h * self.stride : self.stride,
+                        kx : kx + out_w * self.stride : self.stride,
+                    ] += gcols[:, :, :, :, ky, kx].transpose(0, 3, 1, 2)
+            if pad > 0:
+                gx = gx_pad[:, :, pad:-pad, pad:-pad]
+            else:
+                gx = gx_pad
+            grad_x[:, gi * cig : (gi + 1) * cig] = gx
+        return grad_x
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    def __init__(self, size: int = 2):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.size = size
+        self._argmax: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        s = self.size
+        oh, ow = h // s, w // s
+        if oh == 0 or ow == 0:
+            raise ValueError(f"input {x.shape} too small for pool size {s}")
+        self._x_shape = x.shape
+        trimmed = x[:, :, : oh * s, : ow * s]
+        windows = trimmed.reshape(n, c, oh, s, ow, s).transpose(0, 1, 2, 4, 3, 5)
+        flat = windows.reshape(n, c, oh, ow, s * s)
+        self._argmax = flat.argmax(axis=-1)
+        return flat.max(axis=-1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, c, oh, ow = grad_out.shape
+        s = self.size
+        grad_flat = np.zeros((n, c, oh, ow, s * s))
+        idx = self._argmax
+        ni, ci, yi, xi = np.ogrid[:n, :c, :oh, :ow]
+        grad_flat[ni, ci, yi, xi, idx] = grad_out
+        grad_win = grad_flat.reshape(n, c, oh, ow, s, s).transpose(0, 1, 2, 4, 3, 5)
+        grad_x = np.zeros(self._x_shape)
+        grad_x[:, :, : oh * s, : ow * s] = grad_win.reshape(n, c, oh * s, ow * s)
+        return grad_x
+
+
+class AvgPool2d(Layer):
+    """Non-overlapping average pooling (kernel == stride)."""
+
+    def __init__(self, size: int = 2):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.size = size
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        s = self.size
+        oh, ow = h // s, w // s
+        if oh == 0 or ow == 0:
+            raise ValueError(f"input {x.shape} too small for pool size {s}")
+        self._x_shape = x.shape
+        trimmed = x[:, :, : oh * s, : ow * s]
+        return trimmed.reshape(n, c, oh, s, ow, s).mean(axis=(3, 5))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        s = self.size
+        n, c, oh, ow = grad_out.shape
+        grad_x = np.zeros(self._x_shape)
+        spread = np.repeat(np.repeat(grad_out, s, axis=2), s, axis=3) / (s * s)
+        grad_x[:, :, : oh * s, : ow * s] = spread
+        return grad_x
+
+
+class GlobalAvgPool2d(Layer):
+    """Average over all spatial positions: (N, C, H, W) -> (N, C)."""
+
+    def __init__(self) -> None:
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._x_shape
+        return np.broadcast_to(
+            grad_out[:, :, None, None], self._x_shape
+        ) / (h * w)
+
+
+class BatchNorm(Layer):
+    """Batch normalization for dense (N, F) or conv (N, C, H, W) inputs.
+
+    Maintains running statistics for evaluation mode.  The normalized axes
+    are every axis except the feature/channel axis.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = np.ones(num_features)
+        self.beta = np.zeros(num_features)
+        self.grad_gamma = np.zeros(num_features)
+        self.grad_beta = np.zeros(num_features)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def _axes_and_shape(self, x: np.ndarray) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        if x.ndim == 2:
+            return (0,), (1, self.num_features)
+        if x.ndim == 4:
+            return (0, 2, 3), (1, self.num_features, 1, 1)
+        raise ValueError(f"BatchNorm expects 2-D or 4-D input, got {x.ndim}-D")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        axes, shape = self._axes_and_shape(x)
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(shape)) / std.reshape(shape)
+        self._cache = (x_hat, std, axes, shape)
+        return self.gamma.reshape(shape) * x_hat + self.beta.reshape(shape)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_hat, std, axes, shape = self._cache
+        m = grad_out.size / self.num_features
+        self.grad_gamma += (grad_out * x_hat).sum(axis=axes)
+        self.grad_beta += grad_out.sum(axis=axes)
+        g = grad_out * self.gamma.reshape(shape)
+        if self.training:
+            # Full batch-norm backward through the batch statistics.
+            gx_hat_sum = g.sum(axis=axes).reshape(shape)
+            gx_hat_dot = (g * x_hat).sum(axis=axes).reshape(shape)
+            return (g - gx_hat_sum / m - x_hat * gx_hat_dot / m) / std.reshape(shape)
+        return g / std.reshape(shape)
+
+    def params(self) -> list[np.ndarray]:
+        return [self.gamma, self.beta]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_gamma, self.grad_beta]

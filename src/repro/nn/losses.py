@@ -1,0 +1,182 @@
+"""Loss functions, each returning ``(loss, grad_wrt_logits)``.
+
+Includes the two Relativistic GAN objectives from Section 4.1 of the paper:
+
+    max_D E[log sigma(D(x_r) - D(G(z)))]
+    max_G E[log sigma(D(G(z)) - D(x_r))]
+
+implemented as minimization losses over *paired* real/fake critic outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BinaryCrossEntropyWithLogits",
+    "SoftmaxCrossEntropy",
+    "gan_discriminator_loss",
+    "gan_generator_loss",
+    "rgan_discriminator_loss",
+    "rgan_generator_loss",
+    "sigmoid",
+    "softmax",
+    "log_sigmoid",
+]
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def log_sigmoid(z: np.ndarray) -> np.ndarray:
+    """log(sigmoid(z)) computed without overflow: -softplus(-z)."""
+    return -np.logaddexp(0.0, -z)
+
+
+def softmax(z: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-shift stabilization."""
+    shifted = z - z.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class BinaryCrossEntropyWithLogits:
+    """Mean BCE over logits ``z`` of shape (N,) or (N, 1) and targets in {0,1}.
+
+    ``class_weight`` of shape (2,) re-weights examples by their class
+    (normalized so the weights average to 1 within each batch); used by the
+    CNN baselines to survive the heavy class imbalance of defect data.
+    """
+
+    def __init__(self, class_weight: np.ndarray | None = None):
+        self.class_weight = (
+            None if class_weight is None
+            else np.asarray(class_weight, dtype=np.float64)
+        )
+        if self.class_weight is not None and self.class_weight.shape != (2,):
+            raise ValueError("class_weight must have shape (2,)")
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        z = logits.reshape(-1)
+        y = np.asarray(targets, dtype=np.float64).reshape(-1)
+        if z.shape != y.shape:
+            raise ValueError(f"logits {logits.shape} and targets {targets.shape} disagree")
+        n = z.size
+        if self.class_weight is not None:
+            w = self.class_weight[y.astype(np.int64)]
+            w = w / w.mean()
+        else:
+            w = np.ones(n)
+        # loss = softplus(z) - y*z, averaged; stable via logaddexp.
+        loss = float(np.mean(w * (np.logaddexp(0.0, z) - y * z)))
+        grad = w * (sigmoid(z) - y) / n
+        return loss, grad.reshape(logits.shape)
+
+
+class SoftmaxCrossEntropy:
+    """Mean cross entropy over logits (N, K) and integer class targets (N,).
+
+    ``class_weight`` of shape (K,) re-weights examples by class, normalized
+    per batch like in :class:`BinaryCrossEntropyWithLogits`.
+    """
+
+    def __init__(self, class_weight: np.ndarray | None = None):
+        self.class_weight = (
+            None if class_weight is None
+            else np.asarray(class_weight, dtype=np.float64)
+        )
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+        y = np.asarray(targets)
+        n, k = logits.shape
+        if y.shape != (n,):
+            raise ValueError(f"targets must have shape ({n},), got {y.shape}")
+        if y.min() < 0 or y.max() >= k:
+            raise ValueError(f"target classes must be in [0, {k}), got range "
+                             f"[{y.min()}, {y.max()}]")
+        if self.class_weight is not None:
+            if self.class_weight.shape != (k,):
+                raise ValueError(f"class_weight must have shape ({k},)")
+            w = self.class_weight[y]
+            w = w / w.mean()
+        else:
+            w = np.ones(n)
+        probs = softmax(logits)
+        loss = float(-np.mean(w * np.log(probs[np.arange(n), y] + 1e-12)))
+        grad = probs
+        grad[np.arange(n), y] -= 1.0
+        return loss, grad * w[:, None] / n
+
+
+def gan_discriminator_loss(
+    d_real: np.ndarray, d_fake: np.ndarray
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Original GAN discriminator loss (Goodfellow et al. 2014).
+
+    Minimizes ``-E[log sigma(D(x_r))] - E[log(1 - sigma(D(G(z))))]``.
+    Returns ``(loss, grad_d_real, grad_d_fake)``.  Provided so the RGAN
+    choice (Section 4.1) can be ablated against the original objective.
+    """
+    dr = d_real.reshape(-1)
+    df = d_fake.reshape(-1)
+    n_r, n_f = dr.size, df.size
+    loss = float(-np.mean(log_sigmoid(dr)) - np.mean(log_sigmoid(-df)))
+    grad_r = (sigmoid(dr) - 1.0) / n_r
+    grad_f = sigmoid(df) / n_f
+    return loss, grad_r.reshape(d_real.shape), grad_f.reshape(d_fake.shape)
+
+
+def gan_generator_loss(d_fake: np.ndarray) -> tuple[float, np.ndarray]:
+    """Non-saturating original GAN generator loss: ``-E[log sigma(D(G(z)))]``."""
+    df = d_fake.reshape(-1)
+    loss = float(-np.mean(log_sigmoid(df)))
+    grad = (sigmoid(df) - 1.0) / df.size
+    return loss, grad.reshape(d_fake.shape)
+
+
+def rgan_discriminator_loss(
+    d_real: np.ndarray, d_fake: np.ndarray
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """RGAN discriminator loss and gradients w.r.t. both critic outputs.
+
+    Minimizes ``-E[log sigma(D(x_r) - D(G(z)))]`` over paired samples.
+    Returns ``(loss, grad_d_real, grad_d_fake)``.
+    """
+    dr = d_real.reshape(-1)
+    df = d_fake.reshape(-1)
+    if dr.shape != df.shape:
+        raise ValueError("real and fake critic outputs must be paired (same shape)")
+    n = dr.size
+    diff = dr - df
+    loss = float(-np.mean(log_sigmoid(diff)))
+    # d/d diff of -log sigma(diff) = sigma(diff) - 1
+    g = (sigmoid(diff) - 1.0) / n
+    return loss, g.reshape(d_real.shape), (-g).reshape(d_fake.shape)
+
+
+def rgan_generator_loss(
+    d_real: np.ndarray, d_fake: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """RGAN generator loss and gradient w.r.t. the fake critic outputs.
+
+    Minimizes ``-E[log sigma(D(G(z)) - D(x_r))]``; the real critic outputs
+    are treated as constants (the generator cannot influence them).
+    """
+    dr = d_real.reshape(-1)
+    df = d_fake.reshape(-1)
+    if dr.shape != df.shape:
+        raise ValueError("real and fake critic outputs must be paired (same shape)")
+    n = dr.size
+    diff = df - dr
+    loss = float(-np.mean(log_sigmoid(diff)))
+    g = (sigmoid(diff) - 1.0) / n
+    return loss, g.reshape(d_fake.shape)

@@ -1,0 +1,84 @@
+"""Sequential container with flattened-parameter access for L-BFGS."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Layer):
+    """A linear stack of layers sharing one forward/backward interface.
+
+    Besides composition, it exposes the whole parameter set as a single flat
+    vector (:meth:`get_flat_params` / :meth:`set_flat_params`), which is what
+    ``scipy.optimize`` expects when the paper's MLP labeler is trained with
+    L-BFGS.
+    """
+
+    def __init__(self, *layers: Layer):
+        self.layers = list(layers)
+
+    def append(self, layer: Layer) -> None:
+        self.layers.append(layer)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def params(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params()]
+
+    def grads(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads()]
+
+    def set_training(self, mode: bool) -> None:
+        self.training = mode
+        for layer in self.layers:
+            layer.set_training(mode)
+
+    # -- flat-vector parameter access (for scipy optimizers) ----------------
+
+    def num_params(self) -> int:
+        return sum(p.size for p in self.params())
+
+    def get_flat_params(self) -> np.ndarray:
+        params = self.params()
+        if not params:
+            return np.empty(0)
+        return np.concatenate([p.ravel() for p in params])
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        expected = self.num_params()
+        if flat.size != expected:
+            raise ValueError(f"expected {expected} parameters, got {flat.size}")
+        offset = 0
+        for p in self.params():
+            p[...] = flat[offset : offset + p.size].reshape(p.shape)
+            offset += p.size
+
+    def get_flat_grads(self) -> np.ndarray:
+        grads = self.grads()
+        if not grads:
+            return np.empty(0)
+        return np.concatenate([g.ravel() for g in grads])
+
+    # -- state dict (for saving the best iterate during early stopping) -----
+
+    def state_copy(self) -> list[np.ndarray]:
+        return [p.copy() for p in self.params()]
+
+    def load_state(self, state: list[np.ndarray]) -> None:
+        params = self.params()
+        if len(state) != len(params):
+            raise ValueError("state does not match network structure")
+        for p, s in zip(params, state):
+            p[...] = s

@@ -1,0 +1,219 @@
+"""Optimizers: SGD and Adam for iterative training, plus an L-BFGS trainer.
+
+The paper trains its MLP labeler with L-BFGS ("which provides stable training
+on small data") at learning rate 1e-5 with early stopping; the RGAN uses
+per-step gradient optimizers.  ``LBFGSTrainer`` wraps
+``scipy.optimize.minimize(method="L-BFGS-B")`` around a
+:class:`~repro.nn.network.Sequential` and a loss, tracking the best iterate
+on a validation split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize
+
+from repro.nn.network import Sequential
+
+__all__ = ["SGD", "Adam", "LBFGSTrainer", "TrainResult"]
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: list[np.ndarray], grads: list[np.ndarray],
+                 lr: float = 0.01, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if len(params) != len(grads):
+            raise ValueError("params and grads must be aligned")
+        self.params = params
+        self.grads = grads
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in params]
+
+    def step(self) -> None:
+        for p, g, v in zip(self.params, self.grads, self._velocity):
+            if self.momentum > 0:
+                v *= self.momentum
+                v -= self.lr * g
+                p += v
+            else:
+                p -= self.lr * g
+
+    def zero_grad(self) -> None:
+        for g in self.grads:
+            g.fill(0.0)
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba), the standard choice for GAN training."""
+
+    def __init__(self, params: list[np.ndarray], grads: list[np.ndarray],
+                 lr: float = 1e-4, beta1: float = 0.5, beta2: float = 0.999,
+                 eps: float = 1e-8):
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if len(params) != len(grads):
+            raise ValueError("params and grads must be aligned")
+        self.params = params
+        self.grads = grads
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for p, g, m, v in zip(self.params, self.grads, self._m, self._v):
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def zero_grad(self) -> None:
+        for g in self.grads:
+            g.fill(0.0)
+
+
+@dataclass
+class TrainResult:
+    """Outcome of an L-BFGS training run."""
+
+    final_loss: float
+    best_val_loss: float | None
+    n_iterations: int
+    stopped_early: bool
+    history: list[float] = field(default_factory=list)
+
+
+class _EarlyStop(Exception):
+    pass
+
+
+class LBFGSTrainer:
+    """Full-batch L-BFGS training with validation-based early stopping.
+
+    ``l2`` adds weight decay to the objective (standard for small-data MLPs).
+    When a validation split is provided, the trainer snapshots the parameters
+    at the lowest validation loss and restores them at the end — the paper's
+    "early stopping in order to compare the accuracies of candidate models
+    before they overfit".
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        loss_fn,
+        max_iter: int = 200,
+        l2: float = 1e-4,
+        patience: int = 20,
+        tol: float = 1e-9,
+    ):
+        if max_iter <= 0:
+            raise ValueError(f"max_iter must be > 0, got {max_iter}")
+        if l2 < 0:
+            raise ValueError(f"l2 must be >= 0, got {l2}")
+        self.network = network
+        self.loss_fn = loss_fn
+        self.max_iter = max_iter
+        self.l2 = l2
+        self.patience = patience
+        self.tol = tol
+
+    def _objective(self, flat: np.ndarray, x: np.ndarray, y: np.ndarray):
+        net = self.network
+        net.set_flat_params(flat)
+        net.zero_grad()
+        logits = net.forward(x)
+        loss, grad_logits = self.loss_fn(logits, y)
+        net.backward(grad_logits)
+        grad = net.get_flat_grads()
+        if self.l2 > 0:
+            loss += 0.5 * self.l2 * float(flat @ flat)
+            grad = grad + self.l2 * flat
+        return loss, grad
+
+    def evaluate_loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Data loss (without regularization) at the current parameters."""
+        self.network.set_training(False)
+        logits = self.network.forward(x)
+        loss, _ = self.loss_fn(logits, y)
+        self.network.set_training(True)
+        return loss
+
+    def train(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+    ) -> TrainResult:
+        net = self.network
+        net.set_training(True)
+        history: list[float] = []
+        best_val = np.inf
+        best_state: list[np.ndarray] | None = None
+        stall = 0
+        stopped_early = False
+
+        def callback(flat: np.ndarray) -> None:
+            nonlocal best_val, best_state, stall
+            if x_val is None:
+                return
+            net.set_flat_params(flat)
+            val_loss = self.evaluate_loss(x_val, y_val)
+            history.append(val_loss)
+            if val_loss < best_val - self.tol:
+                best_val = val_loss
+                best_state = net.state_copy()
+                stall = 0
+            else:
+                stall += 1
+                if stall >= self.patience:
+                    raise _EarlyStop
+
+        x0 = net.get_flat_params()
+        n_iter = 0
+        try:
+            result = optimize.minimize(
+                self._objective,
+                x0,
+                args=(x, y),
+                jac=True,
+                method="L-BFGS-B",
+                callback=callback,
+                options={"maxiter": self.max_iter, "ftol": 1e-12, "gtol": 1e-10},
+            )
+            net.set_flat_params(result.x)
+            n_iter = int(result.nit)
+        except _EarlyStop:
+            stopped_early = True
+            n_iter = len(history)
+
+        if best_state is not None:
+            # Keep whichever iterate generalized best.
+            current_val = self.evaluate_loss(x_val, y_val)
+            if best_val < current_val:
+                net.load_state(best_state)
+        final_loss = self.evaluate_loss(x, y)
+        net.set_training(False)
+        return TrainResult(
+            final_loss=final_loss,
+            best_val_loss=None if x_val is None else float(min(best_val, np.inf)),
+            n_iterations=n_iter,
+            stopped_early=stopped_early,
+            history=history,
+        )

@@ -1,0 +1,77 @@
+"""Spectral normalization (Miyato et al. 2018) for the RGAN discriminator.
+
+The paper applies spectral normalization to the discriminator "to adjust the
+training speed for better training stability".  We implement the standard
+power-iteration estimate of the largest singular value and divide the weight
+by it on every forward pass.  As in the reference implementation, the
+backward pass treats the spectral norm as a constant (the dominant term),
+which is the approximation used in practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.utils.rng import as_rng
+
+__all__ = ["SpectralNormDense"]
+
+
+class SpectralNormDense(Layer):
+    """Dense layer whose weight is divided by its largest singular value."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: int | np.random.Generator | None = None,
+        power_iterations: int = 1,
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        if power_iterations < 1:
+            raise ValueError("power_iterations must be >= 1")
+        rng = as_rng(rng)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self.power_iterations = power_iterations
+        # Persistent left singular vector estimate, refined each forward.
+        self._u = rng.normal(size=out_features)
+        self._u /= np.linalg.norm(self._u) + 1e-12
+        self._sigma: float = 1.0
+        self._x: np.ndarray | None = None
+
+    def _estimate_sigma(self) -> float:
+        w = self.weight
+        u = self._u
+        for _ in range(self.power_iterations):
+            v = w @ u
+            v /= np.linalg.norm(v) + 1e-12
+            u = w.T @ v
+            u /= np.linalg.norm(u) + 1e-12
+        self._u = u
+        sigma = float(v @ (w @ u))
+        return max(abs(sigma), 1e-12)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._sigma = self._estimate_sigma()
+        self._x = x
+        return x @ (self.weight / self._sigma) + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        # Treat sigma as constant: grad wrt W is (x^T g) / sigma.
+        self.grad_weight += (self._x.T @ grad_out) / self._sigma
+        self.grad_bias += grad_out.sum(axis=0)
+        return grad_out @ (self.weight / self._sigma).T
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]

@@ -1,0 +1,50 @@
+"""The ``Pattern`` type: a defect crop that acts as a labeling function.
+
+Patterns originate from the crowdsourcing workflow (worker bounding boxes),
+and are expanded by the pattern augmenter (GAN- and policy-based).  Each
+pattern is matched against images by the feature generator; in data
+programming terms, a pattern *is* the knowledge content of one labeling
+function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Pattern"]
+
+_PROVENANCES = ("crowd", "gan", "policy")
+
+
+@dataclass
+class Pattern:
+    """A small image crop believed to depict a defect.
+
+    ``label`` is the defect class the pattern represents: 1 for binary
+    tasks, or the class index for multi-class tasks.  ``provenance`` records
+    whether the crowd produced it or which augmenter synthesized it.
+    """
+
+    array: np.ndarray
+    label: int = 1
+    provenance: str = "crowd"
+    source_image: int | None = None
+
+    def __post_init__(self) -> None:
+        self.array = np.asarray(self.array, dtype=np.float64)
+        if self.array.ndim != 2 or self.array.size == 0:
+            raise ValueError(
+                f"pattern array must be 2-D and non-empty, got shape {self.array.shape}"
+            )
+        if self.provenance not in _PROVENANCES:
+            raise ValueError(
+                f"provenance must be one of {_PROVENANCES}, got {self.provenance!r}"
+            )
+        if self.label < 0:
+            raise ValueError(f"label must be non-negative, got {self.label}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.array.shape  # type: ignore[return-value]

@@ -1,0 +1,19 @@
+"""Shared utilities: seeded randomness, table formatting, validation helpers."""
+
+from repro.utils.rng import SeedSequenceFactory, as_rng, spawn_rngs
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "as_rng",
+    "spawn_rngs",
+    "format_table",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,57 @@
+"""Shared fixtures: tiny datasets and crowd results sized for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.workflow import CrowdsourcingWorkflow, WorkflowConfig
+from repro.datasets.ksdd import KSDDConfig, make_ksdd
+from repro.datasets.neu import NEUConfig, make_neu
+from repro.datasets.product import ProductConfig, make_product
+from repro.patterns import Pattern
+
+
+@pytest.fixture(scope="session")
+def tiny_ksdd():
+    """KSDD at minimal scale: 40 images, ~8 defective."""
+    return make_ksdd(KSDDConfig(n_images=40, n_defective=8, scale=0.08), seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_bubble():
+    return make_product(
+        ProductConfig(variant="bubble", n_images=30, n_defective=8, scale=0.15),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_neu():
+    return make_neu(NEUConfig(per_class=4, scale=0.16), seed=5)
+
+
+@pytest.fixture(scope="session")
+def ksdd_crowd(tiny_ksdd):
+    """A finished crowd run over the tiny KSDD pool."""
+    workflow = CrowdsourcingWorkflow(
+        WorkflowConfig(n_workers=3, target_defective=5), seed=3
+    )
+    result = workflow.run(tiny_ksdd)
+    assert result.patterns, "fixture must produce patterns"
+    return result
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def toy_patterns(rng):
+    """A handful of small synthetic patterns with mixed shapes."""
+    out = []
+    for i, shape in enumerate([(6, 9), (8, 8), (5, 12), (7, 6)]):
+        arr = np.clip(rng.normal(0.5, 0.15, shape), 0, 1)
+        out.append(Pattern(array=arr, label=1, provenance="crowd", source_image=i))
+    return out

@@ -1,0 +1,235 @@
+"""Tests for policy-based and GAN-based pattern augmentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.augment import (
+    AugmentConfig,
+    DEFAULT_OPS,
+    PatternAugmenter,
+    PolicySearchConfig,
+    RGANConfig,
+    RelativisticGAN,
+    apply_policy,
+    gan_augment,
+    get_op,
+    policy_augment,
+    search_policies,
+)
+from repro.augment.gan import pattern_square_side
+from repro.augment.policies import random_magnitudes
+from repro.augment.policy_search import PolicySearchResult
+from repro.patterns import Pattern
+
+settings.register_profile("repro", max_examples=10, deadline=None)
+settings.load_profile("repro")
+
+
+class TestPolicyOps:
+    def test_all_default_ops_preserve_bounds(self, rng):
+        img = rng.random((10, 14))
+        for op in DEFAULT_OPS:
+            mag = op.sample_magnitude(rng)
+            out = op.apply(img, mag)
+            assert out.min() >= -1e-9 and out.max() <= 1.0 + 1e-9, op.name
+
+    def test_get_op(self):
+        assert get_op("rotate").name == "rotate"
+        with pytest.raises(KeyError):
+            get_op("sharpen")
+
+    def test_resize_ops_change_one_axis(self, rng):
+        img = rng.random((10, 10))
+        out_x = get_op("resize_x").apply(img, 1.3)
+        out_y = get_op("resize_y").apply(img, 0.8)
+        assert out_x.shape == (10, 13)
+        assert out_y.shape == (8, 10)
+
+    def test_invert_blend_magnitudes(self, rng):
+        img = rng.random((5, 5))
+        zero = get_op("invert").apply(img, 0.0)
+        np.testing.assert_allclose(zero, img)
+
+    def test_apply_policy_composes(self, rng):
+        img = rng.random((8, 12))
+        steps = [(get_op("brightness"), 1.2), (get_op("rotate"), 5.0)]
+        out = apply_policy(img, steps)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_random_magnitudes_within_range(self, rng):
+        op = get_op("rotate")
+        mags = random_magnitudes(op, 10, rng)
+        assert len(mags) == 10
+        lo, hi = op.magnitude_range
+        assert all(lo <= m <= hi for m in mags)
+
+    def test_random_magnitudes_invalid(self, rng):
+        with pytest.raises(ValueError):
+            random_magnitudes(get_op("rotate"), 0, rng)
+
+    @given(mag=st.floats(0.7, 1.4))
+    def test_resize_x_shape_formula(self, mag):
+        img = np.random.default_rng(0).random((6, 10))
+        out = get_op("resize_x").apply(img, mag)
+        assert out.shape == (6, max(2, int(round(10 * mag))))
+
+
+class TestPolicySearch:
+    def test_search_returns_result(self, toy_patterns, tiny_ksdd):
+        config = PolicySearchConfig(max_combos=2, per_pattern_augment=1,
+                                    labeler_max_iter=20, n_magnitudes=3)
+        dev = tiny_ksdd.subset(list(range(16)))
+        result = search_policies(toy_patterns, dev, config, seed=0)
+        assert len(result.ops) == config.combo_size
+        assert len(result.all_scores) <= 2
+        assert 0.0 <= result.score <= 1.0
+
+    def test_search_empty_patterns_raises(self, tiny_ksdd):
+        with pytest.raises(ValueError):
+            search_policies([], tiny_ksdd)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PolicySearchConfig(combo_size=0)
+        with pytest.raises(ValueError):
+            PolicySearchConfig(train_fraction=1.0)
+        with pytest.raises(ValueError):
+            PolicySearchConfig(n_magnitudes=0)
+
+    def test_policy_augment_count_and_provenance(self, toy_patterns):
+        ops = (get_op("brightness"), get_op("rotate"), get_op("contrast"))
+        result = PolicySearchResult(
+            ops=ops,
+            magnitudes=tuple((1.1, 0.9) for _ in ops),
+            score=0.5,
+        )
+        out = policy_augment(toy_patterns, result, 12, seed=0)
+        assert len(out) == 12
+        assert all(p.provenance == "policy" for p in out)
+        assert all(p.label == 1 for p in out)
+
+    def test_policy_augment_zero(self, toy_patterns):
+        result = PolicySearchResult(
+            ops=(get_op("rotate"),), magnitudes=((3.0,),), score=0.0
+        )
+        assert policy_augment(toy_patterns, result, 0, seed=0) == []
+
+
+class TestRGAN:
+    def test_pattern_square_side(self, toy_patterns):
+        side = pattern_square_side(toy_patterns, cap=100)
+        dims = [d for p in toy_patterns for d in p.shape]
+        assert side == int(round(np.mean(dims)))
+        assert pattern_square_side(toy_patterns, cap=5) == 5
+
+    def test_generate_shapes_and_bounds(self):
+        gan = RelativisticGAN(side=8, config=RGANConfig(epochs=1, z_dim=16,
+                                                        hidden=(32,)), seed=0)
+        out = gan.generate(5)
+        assert out.shape == (5, 8, 8)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_training_improves_realism(self, rng):
+        # Real patterns: bright center blob. After training, generated
+        # patterns should be closer to the real mean image than at init.
+        side = 8
+        yy, xx = np.mgrid[:side, :side]
+        blob = np.exp(-((yy - 4) ** 2 + (xx - 4) ** 2) / 6)
+        real = np.stack([
+            np.clip(blob + rng.normal(0, 0.05, (side, side)), 0, 1).ravel()
+            for _ in range(16)
+        ])
+        config = RGANConfig(epochs=60, z_dim=16, hidden=(32,), batch_size=8)
+        gan = RelativisticGAN(side=side, config=config, seed=0)
+        before = gan.generate(32).mean(axis=0)
+        gan.fit(real)
+        after = gan.generate(32).mean(axis=0)
+        target = real.mean(axis=0).reshape(side, side)
+        err_before = np.abs(before - target).mean()
+        err_after = np.abs(after - target).mean()
+        assert err_after < err_before
+
+    def test_fit_shape_validation(self):
+        gan = RelativisticGAN(side=8, config=RGANConfig(epochs=1), seed=0)
+        with pytest.raises(ValueError):
+            gan.fit(np.zeros((4, 10)))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            RGANConfig(epochs=0)
+        with pytest.raises(ValueError):
+            RGANConfig(lr=0.0)
+        with pytest.raises(ValueError):
+            RelativisticGAN(side=2)
+
+    def test_gan_augment_output(self, toy_patterns):
+        config = RGANConfig(epochs=5, z_dim=8, hidden=(16,), side_cap=8)
+        out = gan_augment(toy_patterns, 6, config, seed=0)
+        assert len(out) >= 6
+        assert all(p.provenance == "gan" for p in out)
+        # Generated shapes come from the original shape pool.
+        shapes = {p.shape for p in toy_patterns}
+        assert all(p.shape in shapes for p in out)
+
+    def test_gan_augment_per_class(self, toy_patterns):
+        multi = [
+            Pattern(array=p.array, label=i % 2, provenance="crowd")
+            for i, p in enumerate(toy_patterns)
+        ]
+        config = RGANConfig(epochs=3, z_dim=8, hidden=(16,), side_cap=8)
+        out = gan_augment(multi, 8, config, seed=0)
+        assert {p.label for p in out} == {0, 1}
+
+    def test_gan_augment_zero(self, toy_patterns):
+        assert gan_augment(toy_patterns, 0, seed=0) == []
+
+    def test_gan_augment_empty_raises(self):
+        with pytest.raises(ValueError):
+            gan_augment([], 5)
+
+
+class TestPatternAugmenter:
+    def _quick_config(self, mode):
+        return AugmentConfig(
+            mode=mode, n_policy=4, n_gan=4,
+            policy_search=PolicySearchConfig(max_combos=1,
+                                             per_pattern_augment=1,
+                                             labeler_max_iter=15,
+                                             n_magnitudes=2),
+            rgan=RGANConfig(epochs=3, z_dim=8, hidden=(16,), side_cap=8),
+        )
+
+    def test_mode_none_returns_originals(self, toy_patterns, tiny_ksdd):
+        augmenter = PatternAugmenter(self._quick_config("none"), seed=0)
+        dev = tiny_ksdd.subset(list(range(12)))
+        out = augmenter.augment(toy_patterns, dev)
+        assert out == toy_patterns
+
+    def test_mode_both_adds_both_kinds(self, toy_patterns, tiny_ksdd):
+        augmenter = PatternAugmenter(self._quick_config("both"), seed=0)
+        dev = tiny_ksdd.subset(list(range(12)))
+        out = augmenter.augment(toy_patterns, dev)
+        provenances = {p.provenance for p in out}
+        assert provenances == {"crowd", "policy", "gan"}
+        assert len(out) > len(toy_patterns)
+
+    def test_mode_gan_only(self, toy_patterns, tiny_ksdd):
+        augmenter = PatternAugmenter(self._quick_config("gan"), seed=0)
+        out = augmenter.augment(toy_patterns, tiny_ksdd.subset([0, 1]))
+        assert {p.provenance for p in out} == {"crowd", "gan"}
+        assert augmenter.policy_result is None
+
+    def test_empty_patterns_raise(self, tiny_ksdd):
+        augmenter = PatternAugmenter(self._quick_config("both"), seed=0)
+        with pytest.raises(ValueError):
+            augmenter.augment([], tiny_ksdd)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            AugmentConfig(mode="extra")
+        with pytest.raises(ValueError):
+            AugmentConfig(n_policy=-1)

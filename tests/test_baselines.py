@@ -1,0 +1,329 @@
+"""Tests for the comparison baselines: heuristics, label model, Snuba,
+GOGGLES, the CNN zoo, self-learning and transfer learning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CNNClassifier,
+    DecisionStump,
+    GogglesLabeler,
+    LabelModel,
+    LogisticRegression,
+    SelfLearningBaseline,
+    Snuba,
+    SnubaConfig,
+    TransferLearningBaseline,
+    preprocess_for_cnn,
+)
+from repro.baselines.clustering import kmeans
+from repro.baselines.cnn_zoo import build_mobilenet, build_resnet, build_vgg
+from repro.baselines.goggles import _assign_clusters
+from repro.baselines.label_model import ABSTAIN
+from repro.baselines.transfer import pretrain_on_pretext
+
+
+class TestDecisionStump:
+    def test_learns_threshold(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = (x[:, 1] > 0.3).astype(int)
+        stump = DecisionStump().fit(x, y)
+        assert stump.feature_ == 1
+        assert (stump.predict(x) == y).mean() > 0.95
+
+    def test_learns_inverted_polarity(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = (x[:, 0] < -0.2).astype(int)
+        stump = DecisionStump().fit(x, y)
+        assert (stump.predict(x) == y).mean() > 0.95
+
+    def test_proba_shape(self, rng):
+        x = rng.normal(size=(20, 2))
+        y = (x[:, 0] > 0).astype(int)
+        probs = DecisionStump().fit(x, y).predict_proba(x)
+        assert probs.shape == (20, 2)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_unfit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionStump().predict(np.zeros((2, 2)))
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionStump().fit(np.zeros((3, 1)), np.array([0, 1, 2]))
+
+
+class TestLogisticRegression:
+    def test_binary(self, rng):
+        x = rng.normal(size=(80, 3))
+        y = (x @ np.array([1.0, -2.0, 0.5]) > 0).astype(int)
+        model = LogisticRegression().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_multiclass(self, rng):
+        x = rng.normal(size=(120, 2))
+        y = (x[:, 0] > 0).astype(int) + 2 * (x[:, 1] > 0).astype(int)
+        model = LogisticRegression().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+        assert model.predict_proba(x).shape == (120, 4)
+
+    def test_unfit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((1, 2)))
+
+    def test_l2_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1)
+
+
+class TestLabelModel:
+    def _synthetic_votes(self, rng, n=300, accs=(0.9, 0.7, 0.6),
+                         abstain_rate=0.3):
+        y = rng.integers(0, 2, size=n)
+        votes = np.full((n, len(accs)), ABSTAIN, dtype=np.int64)
+        for j, acc in enumerate(accs):
+            active = rng.random(n) > abstain_rate
+            correct = rng.random(n) < acc
+            votes[active & correct, j] = y[active & correct]
+            votes[active & ~correct, j] = 1 - y[active & ~correct]
+        return votes, y
+
+    def test_recovers_accuracy_ordering(self, rng):
+        votes, y = self._synthetic_votes(rng)
+        model = LabelModel(n_classes=2).fit(votes)
+        accs = model.accuracies_
+        assert accs[0] > accs[2]
+
+    def test_predictions_beat_single_lf(self, rng):
+        votes, y = self._synthetic_votes(rng)
+        model = LabelModel(n_classes=2).fit(votes)
+        pred = model.predict(votes)
+        combined_acc = (pred == y).mean()
+        # Accuracy of the best single LF on its covered subset, extended
+        # with random guessing elsewhere, is ~0.9 * 0.7 + 0.5 * 0.3 = 0.78.
+        assert combined_acc > 0.78
+
+    def test_abstain_only_column(self):
+        votes = np.full((10, 2), ABSTAIN, dtype=np.int64)
+        votes[:, 0] = 1
+        model = LabelModel(n_classes=2).fit(votes)
+        assert model.accuracies_ is not None
+
+    def test_init_anchors_respected(self, rng):
+        votes, _ = self._synthetic_votes(rng, n=40)
+        model = LabelModel(n_classes=2, n_iter=1, prior_strength=1000.0)
+        init = np.array([0.9, 0.6, 0.55])
+        model.fit(votes, init_accuracies=init)
+        np.testing.assert_allclose(model.accuracies_, init, atol=0.05)
+
+    def test_vote_validation(self):
+        model = LabelModel(n_classes=2)
+        with pytest.raises(ValueError):
+            model.fit(np.array([[2, 0]]))
+        with pytest.raises(ValueError):
+            model.fit(np.array([[-2, 0]]))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(3, dtype=np.int64))
+
+    def test_unfit_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelModel().predict(np.zeros((1, 1), dtype=np.int64))
+
+
+class TestSnuba:
+    def _primitives(self, rng, n=120, p=6):
+        """Primitives where columns 0 and 1 carry signal."""
+        y = rng.integers(0, 2, size=n)
+        x = rng.normal(size=(n, p)) * 0.3
+        x[:, 0] += y * 1.5
+        x[:, 1] += y * 1.0
+        return x, y
+
+    def test_fit_predict_recovers_signal(self, rng):
+        x, y = self._primitives(rng)
+        snuba = Snuba(SnubaConfig(max_heuristics=5)).fit(x, y)
+        pred = snuba.predict(x)
+        assert (pred == y).mean() > 0.8
+        assert 1 <= len(snuba.heuristics) <= 5
+
+    def test_votes_contain_abstains_or_labels(self, rng):
+        x, y = self._primitives(rng)
+        snuba = Snuba(SnubaConfig(max_heuristics=3)).fit(x, y)
+        votes = snuba.vote_matrix(x)
+        assert set(np.unique(votes)) <= {-1, 0, 1}
+
+    def test_diverse_heuristics_use_different_features(self, rng):
+        x, y = self._primitives(rng)
+        snuba = Snuba(SnubaConfig(max_heuristics=4)).fit(x, y)
+        features = {h.features for h in snuba.heuristics}
+        assert len(features) == len(snuba.heuristics)
+
+    def test_subset_size_two(self, rng):
+        x, y = self._primitives(rng, n=60, p=4)
+        snuba = Snuba(SnubaConfig(max_subset_size=2, max_heuristics=2,
+                                  heuristic_model="logreg")).fit(x, y)
+        assert snuba.predict(x).shape == (60,)
+
+    def test_unfit_raises(self):
+        with pytest.raises(RuntimeError):
+            Snuba().predict(np.zeros((2, 2)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SnubaConfig(max_subset_size=0)
+        with pytest.raises(ValueError):
+            SnubaConfig(heuristic_model="svm")
+
+    def test_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            Snuba().fit(np.zeros((4, 2)), np.zeros(5, dtype=int))
+
+
+class TestKMeans:
+    def test_separates_blobs(self, rng):
+        a = rng.normal(0, 0.2, size=(30, 2))
+        b = rng.normal(5, 0.2, size=(30, 2))
+        x = np.vstack([a, b])
+        assign, centers, inertia = kmeans(x, 2, seed=0)
+        assert len(set(assign[:30])) == 1
+        assert len(set(assign[30:])) == 1
+        assert assign[0] != assign[30]
+
+    def test_k_equals_one(self, rng):
+        x = rng.normal(size=(20, 3))
+        assign, centers, _ = kmeans(x, 1, seed=0)
+        assert (assign == 0).all()
+        np.testing.assert_allclose(centers[0], x.mean(axis=0), atol=1e-9)
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(rng.normal(size=(5, 2)), 6)
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.normal(size=(40, 2))
+        a1, _, i1 = kmeans(x, 3, seed=7)
+        a2, _, i2 = kmeans(x, 3, seed=7)
+        np.testing.assert_array_equal(a1, a2)
+        assert i1 == i2
+
+
+class TestAssignClusters:
+    def test_unique_assignment(self):
+        votes = np.array([[5.0, 1.0], [4.0, 2.0]])
+        mapping = _assign_clusters(votes)
+        # Cluster 0 wants class 0 most strongly; cluster 1 takes class 1.
+        np.testing.assert_array_equal(mapping, [0, 1])
+
+    def test_no_class_silenced(self):
+        votes = np.array([[5.0, 1.0], [5.0, 1.0]])
+        mapping = _assign_clusters(votes)
+        assert set(mapping) == {0, 1}
+
+    def test_zero_votes(self):
+        mapping = _assign_clusters(np.zeros((2, 2)))
+        assert set(mapping) == {0, 1}
+
+
+class TestCNNZoo:
+    def test_preprocess_splits_long_rectangles(self, rng):
+        img = rng.random((10, 100))
+        out = preprocess_for_cnn(img, target=(16, 16), max_aspect=3.0)
+        assert out.shape == (16, 16)
+
+    def test_preprocess_short_image_only_resized(self, rng):
+        img = rng.random((20, 30))
+        out = preprocess_for_cnn(img, target=(16, 16))
+        assert out.shape == (16, 16)
+
+    @pytest.mark.parametrize("builder", [build_vgg, build_mobilenet, build_resnet])
+    def test_builders_forward_shapes(self, builder, rng):
+        net = builder(2, width=4, rng=0, input_shape=(16, 16))
+        out = net.forward(rng.normal(size=(3, 1, 16, 16)))
+        assert out.shape == (3, 1)
+
+    @pytest.mark.parametrize("builder", [build_vgg, build_mobilenet, build_resnet])
+    def test_builders_multiclass_heads(self, builder, rng):
+        net = builder(5, width=4, rng=0, input_shape=(16, 16))
+        assert net.forward(rng.normal(size=(2, 1, 16, 16))).shape == (2, 5)
+
+    def test_resnet_gradients_flow(self, rng):
+        net = build_resnet(2, width=4, rng=0, input_shape=(16, 16))
+        x = rng.normal(size=(2, 1, 16, 16))
+        out = net.forward(x)
+        net.zero_grad()
+        grad = net.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert any(np.abs(g).sum() > 0 for g in net.grads())
+
+    def test_classifier_learns_toy_task(self, rng):
+        x = np.full((60, 1, 16, 16), 0.3)
+        y = np.zeros(60, dtype=int)
+        x[::2] += 0.4
+        y[::2] = 1
+        clf = CNNClassifier(arch="vgg", input_shape=(16, 16), width=4,
+                            epochs=12, seed=0)
+        clf.fit(x, y)
+        assert (clf.predict(x) == y).mean() > 0.95
+
+    def test_feature_maps_and_embed(self, rng):
+        clf = CNNClassifier(arch="vgg", input_shape=(16, 16), width=4, seed=0)
+        x = rng.random((2, 1, 16, 16))
+        maps = clf.feature_maps(x)
+        assert maps.ndim == 4 and maps.shape[0] == 2
+        emb = clf.embed(x)
+        assert emb.shape == (2, maps.shape[1])
+
+    def test_reset_head_changes_output_dim(self, rng):
+        clf = CNNClassifier(arch="vgg", input_shape=(16, 16), width=4,
+                            n_classes=2, seed=0)
+        clf.reset_head(4)
+        out = clf.network.forward(rng.random((1, 1, 16, 16)))
+        assert out.shape == (1, 4)
+
+    def test_balanced_weights_set_on_fit(self):
+        clf = CNNClassifier(arch="vgg", input_shape=(16, 16), width=4,
+                            epochs=1, seed=0)
+        x = np.random.default_rng(0).random((10, 1, 16, 16))
+        y = np.array([0] * 8 + [1] * 2)
+        clf.fit(x, y)
+        assert clf._loss.class_weight is not None
+        assert clf._loss.class_weight[1] > clf._loss.class_weight[0]
+
+    def test_invalid_arch(self):
+        with pytest.raises(ValueError):
+            CNNClassifier(arch="alexnet")
+
+
+class TestEndToEndBaselines:
+    def test_self_learning_smoke(self, tiny_ksdd):
+        baseline = SelfLearningBaseline(arch="vgg", input_shape=(16, 16),
+                                        width=4, epochs=4, seed=0)
+        dev = tiny_ksdd.subset(list(range(20)))
+        baseline.fit(dev)
+        pred = baseline.predict(tiny_ksdd.subset([20, 21, 22]))
+        assert pred.shape == (3,)
+        assert set(np.unique(pred)) <= {0, 1}
+
+    def test_self_learning_unfit_raises(self, tiny_ksdd):
+        with pytest.raises(RuntimeError):
+            SelfLearningBaseline().predict(tiny_ksdd)
+
+    def test_transfer_pipeline_smoke(self, tiny_ksdd):
+        backbone = pretrain_on_pretext(input_shape=(16, 16), width=4,
+                                       epochs=2, per_class=4, seed=0)
+        baseline = TransferLearningBaseline(backbone, fine_tune_epochs=3,
+                                            seed=0)
+        baseline.fit(tiny_ksdd.subset(list(range(20))))
+        probs = baseline.predict_proba(tiny_ksdd.subset([30, 31]))
+        assert probs.shape == (2, 2)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_goggles_smoke(self, tiny_ksdd):
+        backbone = pretrain_on_pretext(input_shape=(16, 16), width=4,
+                                       epochs=2, per_class=4, seed=0)
+        goggles = GogglesLabeler(backbone, seed=0)
+        pred = goggles.fit_predict(tiny_ksdd, tiny_ksdd.subset(list(range(12))))
+        assert pred.shape == (len(tiny_ksdd),)
+        assert set(np.unique(pred)) <= {0, 1}

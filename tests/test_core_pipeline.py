@@ -1,0 +1,146 @@
+"""Tests for the Inspector Gadget pipeline and integration behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.augment import AugmentConfig, PolicySearchConfig, RGANConfig
+from repro.core import InspectorGadget, InspectorGadgetConfig
+from repro.crowd import WorkflowConfig
+from repro.eval import f1_score
+from repro.labeler.weak_labels import WeakLabels
+
+
+def _fast_config(seed=0, mode="none", tune=False):
+    return InspectorGadgetConfig(
+        workflow=WorkflowConfig(target_defective=4),
+        augment=AugmentConfig(
+            mode=mode, n_policy=3, n_gan=3,
+            policy_search=PolicySearchConfig(max_combos=1,
+                                             per_pattern_augment=1,
+                                             labeler_max_iter=15,
+                                             n_magnitudes=2),
+            rgan=RGANConfig(epochs=3, z_dim=8, hidden=(16,), side_cap=8),
+        ),
+        tune=tune,
+        labeler_max_iter=40,
+        seed=seed,
+    )
+
+
+class TestPipeline:
+    def test_fit_and_predict(self, tiny_ksdd):
+        ig = InspectorGadget(_fast_config())
+        report = ig.fit(tiny_ksdd)
+        assert report.dev_size > 0
+        assert report.n_crowd_patterns > 0
+        assert report.n_total_patterns == report.n_crowd_patterns  # mode none
+        weak = ig.predict(tiny_ksdd.subset([0, 1, 2]))
+        assert isinstance(weak, WeakLabels)
+        assert len(weak) == 3
+
+    def test_fit_with_dev_budget(self, tiny_ksdd):
+        ig = InspectorGadget(_fast_config(seed=1))
+        report = ig.fit(tiny_ksdd, dev_budget=15)
+        assert report.dev_size == 15
+
+    def test_augmentation_grows_patterns(self, tiny_ksdd):
+        ig = InspectorGadget(_fast_config(seed=2, mode="gan"))
+        report = ig.fit(tiny_ksdd)
+        assert report.n_total_patterns > report.n_crowd_patterns
+
+    def test_tuning_records_architecture(self, tiny_ksdd):
+        config = _fast_config(seed=3, tune=True)
+        config.tune_min_per_class = 2
+        ig = InspectorGadget(config)
+        report = ig.fit(tiny_ksdd)
+        assert report.dev_cv_f1 is not None
+        assert ig.tuning is not None
+        assert report.chosen_architecture == ig.tuning.best_hidden
+
+    def test_predict_before_fit_raises(self, tiny_ksdd):
+        with pytest.raises(RuntimeError):
+            InspectorGadget(_fast_config()).predict(tiny_ksdd)
+
+    def test_predict_raw_images(self, tiny_ksdd):
+        ig = InspectorGadget(_fast_config(seed=4))
+        ig.fit(tiny_ksdd)
+        weak = ig.predict([tiny_ksdd[0].image, tiny_ksdd[1].image])
+        assert len(weak) == 2
+
+    def test_fit_from_crowd_reuse(self, tiny_ksdd, ksdd_crowd):
+        """One crowd run can be shared by several pipeline configurations."""
+        f1s = []
+        for mode in ("none", "gan"):
+            ig = InspectorGadget(_fast_config(seed=5, mode=mode))
+            ig.fit_from_crowd(ksdd_crowd, task="binary", n_classes=2)
+            rest = tiny_ksdd.subset(
+                [i for i in range(len(tiny_ksdd))
+                 if i not in set(ksdd_crowd.dev_indices)]
+            )
+            weak = ig.predict(rest)
+            f1s.append(f1_score(rest.labels, weak.labels, "binary"))
+        assert all(0.0 <= f for f in f1s)
+
+    def test_deterministic_given_seed(self, tiny_ksdd):
+        def run():
+            ig = InspectorGadget(_fast_config(seed=11))
+            ig.fit(tiny_ksdd)
+            return ig.predict(tiny_ksdd.subset([0, 1, 2, 3])).probs
+
+        np.testing.assert_allclose(run(), run())
+
+    def test_weak_labels_better_than_chance(self, tiny_ksdd):
+        ig = InspectorGadget(_fast_config(seed=6))
+        ig.fit(tiny_ksdd)
+        rest_idx = [i for i in range(len(tiny_ksdd))
+                    if i not in set(ig.crowd_result.dev_indices)]
+        rest = tiny_ksdd.subset(rest_idx)
+        weak = ig.predict(rest)
+        acc = (weak.labels == rest.labels).mean()
+        # Majority class is ~80%; IG should do at least roughly that while
+        # actually finding some defects (not the degenerate all-negative).
+        assert acc > 0.6
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            InspectorGadgetConfig(tune_max_layers=0)
+        with pytest.raises(ValueError):
+            InspectorGadgetConfig(labeler_max_iter=0)
+
+
+class TestHarness:
+    def test_prepare_context_and_methods(self):
+        from repro.eval.experiments import (
+            FAST_PROFILE,
+            prepare_context,
+            run_inspector_gadget,
+            run_snuba,
+        )
+
+        ctx = prepare_context("ksdd", FAST_PROFILE, seed=1)
+        assert len(ctx.dev) + len(ctx.test) == len(ctx.dataset)
+        f1_ig, ig = run_inspector_gadget(ctx)
+        assert 0.0 <= f1_ig <= 1.0
+        assert ig.labeler is not None
+        f1_snuba = run_snuba(ctx)
+        assert 0.0 <= f1_snuba <= 1.0
+
+    def test_context_feature_cache(self):
+        from repro.eval.experiments import (
+            FAST_PROFILE,
+            _context_features,
+            prepare_context,
+        )
+
+        ctx = prepare_context("ksdd", FAST_PROFILE, seed=2)
+        a = _context_features(ctx)
+        b = _context_features(ctx)
+        assert a[0] is b[0]
+
+    def test_dev_budget_respected(self):
+        from repro.eval.experiments import FAST_PROFILE, prepare_context
+
+        ctx = prepare_context("ksdd", FAST_PROFILE, dev_budget=12, seed=3)
+        assert len(ctx.dev) == 12

@@ -1,0 +1,219 @@
+"""Tests for the simulated crowdsourcing workflow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd import (
+    CrowdsourcingWorkflow,
+    PeerReviewConfig,
+    WorkerPool,
+    WorkerProfile,
+    WorkflowConfig,
+    peer_review,
+)
+from repro.datasets.base import LabeledImage
+from repro.imaging.boxes import BoundingBox, iou
+
+
+def _defective_item(shape=(30, 40), difficulty=1.0) -> LabeledImage:
+    img = np.full(shape, 0.5)
+    box = BoundingBox(10, 15, 6, 8)
+    return LabeledImage(image=img, label=1, defect_boxes=[box],
+                        defect_type="crack", difficulty=difficulty)
+
+
+class TestWorkerProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerProfile(miss_rate=1.5)
+        with pytest.raises(ValueError):
+            WorkerProfile(jitter=-1.0)
+
+    def test_perfect_worker_recovers_box(self):
+        profile = WorkerProfile(jitter=0.0, size_bias_sigma=0.0,
+                                miss_rate=0.0, spurious_rate=0.0)
+        item = _defective_item()
+        boxes = profile.annotate(item, np.random.default_rng(0))
+        assert len(boxes) == 1
+        assert iou(boxes[0], item.defect_boxes[0]) > 0.95
+
+    def test_noisy_worker_box_overlaps_truth(self):
+        profile = WorkerProfile(jitter=0.1, size_bias_sigma=0.1,
+                                miss_rate=0.0, spurious_rate=0.0)
+        item = _defective_item()
+        rng = np.random.default_rng(1)
+        overlaps = [
+            iou(profile.annotate(item, rng)[0], item.defect_boxes[0])
+            for _ in range(20)
+        ]
+        assert np.mean(overlaps) > 0.3
+
+    def test_miss_rate_statistics(self):
+        profile = WorkerProfile(miss_rate=0.5, spurious_rate=0.0)
+        item = _defective_item()
+        rng = np.random.default_rng(2)
+        n_found = sum(bool(profile.annotate(item, rng)) for _ in range(200))
+        assert 60 <= n_found <= 140  # ~100 expected
+
+    def test_difficult_defects_missed_more(self):
+        profile = WorkerProfile(miss_rate=0.1, spurious_rate=0.0)
+        rng = np.random.default_rng(3)
+        easy = _defective_item(difficulty=1.0)
+        hard = _defective_item(difficulty=0.05)
+        found_easy = sum(bool(profile.annotate(easy, rng)) for _ in range(150))
+        found_hard = sum(bool(profile.annotate(hard, rng)) for _ in range(150))
+        assert found_hard < found_easy
+
+    def test_spurious_boxes_on_clean_images(self):
+        profile = WorkerProfile(spurious_rate=1.0, miss_rate=0.0)
+        clean = LabeledImage(image=np.full((20, 30), 0.5), label=0)
+        boxes = profile.annotate(clean, np.random.default_rng(4))
+        assert len(boxes) == 1
+
+    def test_boxes_clipped_to_image(self):
+        profile = WorkerProfile(jitter=0.8, size_bias_sigma=0.8,
+                                miss_rate=0.0, spurious_rate=0.0)
+        item = _defective_item(shape=(20, 20))
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            for box in profile.annotate(item, rng):
+                assert box.y >= 0 and box.x >= 0
+                assert box.y2 <= 20 and box.x2 <= 20
+
+
+class TestWorkerPool:
+    def test_pool_size(self):
+        assert len(WorkerPool(n_workers=4, seed=0)) == 4
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WorkerPool(n_workers=0)
+
+    def test_annotate_image_returns_per_worker(self):
+        pool = WorkerPool(n_workers=3, seed=0)
+        out = pool.annotate_image(_defective_item())
+        assert len(out) == 3
+
+    def test_workers_are_independent(self):
+        pool = WorkerPool(
+            n_workers=2,
+            profile=WorkerProfile(jitter=0.3, miss_rate=0.0, spurious_rate=0.0),
+            seed=0,
+        )
+        a, b = pool.annotate_image(_defective_item())
+        assert a[0] != b[0]
+
+    def test_review_votes_accuracy(self):
+        pool = WorkerPool(
+            n_workers=1, profile=WorkerProfile(review_accuracy=1.0), seed=0
+        )
+        assert pool.review_votes(True) == [True]
+        assert pool.review_votes(False) == [False]
+
+
+class TestPeerReview:
+    def test_true_outliers_mostly_survive(self):
+        pool = WorkerPool(
+            n_workers=5, profile=WorkerProfile(review_accuracy=0.95), seed=0
+        )
+        item = _defective_item()
+        true_box = item.defect_boxes[0]
+        survivors = peer_review([true_box], item, pool)
+        assert survivors == [true_box]
+
+    def test_spurious_outliers_mostly_rejected(self):
+        pool = WorkerPool(
+            n_workers=5, profile=WorkerProfile(review_accuracy=0.95), seed=0
+        )
+        item = _defective_item()
+        fake = BoundingBox(0, 0, 3, 3)  # far from the defect
+        n_kept = 0
+        for _ in range(20):
+            n_kept += len(peer_review([fake], item, pool))
+        assert n_kept <= 4
+
+    def test_overlap_threshold(self):
+        item = _defective_item()
+        config = PeerReviewConfig(min_true_overlap=0.9)
+        pool = WorkerPool(
+            n_workers=3, profile=WorkerProfile(review_accuracy=1.0), seed=0
+        )
+        barely = BoundingBox(10, 15, 20, 20)  # contains defect, mostly empty
+        assert peer_review([barely], item, pool, config) == []
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PeerReviewConfig(min_true_overlap=1.5)
+
+
+class TestWorkflow:
+    def test_run_reaches_target(self, tiny_ksdd):
+        wf = CrowdsourcingWorkflow(WorkflowConfig(target_defective=3), seed=0)
+        result = wf.run(tiny_ksdd)
+        assert result.dev.n_defective >= 3
+        assert len(result.dev) <= len(tiny_ksdd)
+
+    def test_run_exhausts_pool_when_target_too_high(self, tiny_ksdd):
+        wf = CrowdsourcingWorkflow(WorkflowConfig(target_defective=999), seed=0)
+        result = wf.run(tiny_ksdd)
+        assert len(result.dev) == len(tiny_ksdd)
+
+    def test_max_images_cap(self, tiny_ksdd):
+        wf = CrowdsourcingWorkflow(
+            WorkflowConfig(target_defective=999, max_images=7), seed=0
+        )
+        assert len(wf.run(tiny_ksdd).dev) == 7
+
+    def test_run_fixed_exact_size(self, tiny_ksdd):
+        wf = CrowdsourcingWorkflow(WorkflowConfig(), seed=0)
+        assert len(wf.run_fixed(tiny_ksdd, 9).dev) == 9
+
+    def test_run_fixed_validation(self, tiny_ksdd):
+        wf = CrowdsourcingWorkflow(WorkflowConfig(), seed=0)
+        with pytest.raises(ValueError):
+            wf.run_fixed(tiny_ksdd, 0)
+        with pytest.raises(ValueError):
+            wf.run_fixed(tiny_ksdd, len(tiny_ksdd) + 1)
+
+    def test_patterns_have_crowd_provenance(self, ksdd_crowd):
+        assert all(p.provenance == "crowd" for p in ksdd_crowd.patterns)
+        assert all(min(p.shape) >= 3 for p in ksdd_crowd.patterns)
+
+    def test_dev_indices_sorted_and_valid(self, tiny_ksdd, ksdd_crowd):
+        idx = ksdd_crowd.dev_indices
+        assert idx == sorted(idx)
+        assert all(0 <= i < len(tiny_ksdd) for i in idx)
+
+    def test_no_combine_ablation_produces_more_patterns(self, tiny_ksdd):
+        base = WorkflowConfig(target_defective=5)
+        raw = WorkflowConfig(target_defective=5, combine_overlapping=False)
+        n_full = len(CrowdsourcingWorkflow(base, seed=1).run(tiny_ksdd).patterns)
+        n_raw = len(CrowdsourcingWorkflow(raw, seed=1).run(tiny_ksdd).patterns)
+        assert n_raw >= n_full
+
+    def test_no_peer_review_keeps_outliers(self, tiny_ksdd):
+        with_review = WorkflowConfig(target_defective=5, use_peer_review=True)
+        without = WorkflowConfig(target_defective=5, use_peer_review=False)
+        res_with = CrowdsourcingWorkflow(with_review, seed=2).run(tiny_ksdd)
+        res_without = CrowdsourcingWorkflow(without, seed=2).run(tiny_ksdd)
+        assert res_without.n_review_rejected == 0
+        assert len(res_without.patterns) >= len(res_with.patterns)
+
+    def test_deterministic_given_seed(self, tiny_ksdd):
+        cfg = WorkflowConfig(target_defective=4)
+        a = CrowdsourcingWorkflow(cfg, seed=9).run(tiny_ksdd)
+        b = CrowdsourcingWorkflow(cfg, seed=9).run(tiny_ksdd)
+        assert a.dev_indices == b.dev_indices
+        assert len(a.patterns) == len(b.patterns)
+        for pa, pb in zip(a.patterns, b.patterns):
+            np.testing.assert_array_equal(pa.array, pb.array)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkflowConfig(n_workers=0)
+        with pytest.raises(ValueError):
+            WorkflowConfig(target_defective=0)
+        with pytest.raises(ValueError):
+            WorkflowConfig(max_images=0)

@@ -1,0 +1,262 @@
+"""Tests for the synthetic dataset generators and containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    Dataset,
+    KSDDConfig,
+    LabeledImage,
+    NEU_CLASSES,
+    NEUConfig,
+    PretextConfig,
+    ProductConfig,
+    make_dataset,
+    make_ksdd,
+    make_neu,
+    make_pretext_corpus,
+    make_product,
+    stratified_split,
+)
+from repro.datasets.registry import DATASET_NAMES, reference_dev_size
+from repro.imaging.boxes import BoundingBox
+
+settings.register_profile("repro", max_examples=15, deadline=None)
+settings.load_profile("repro")
+
+
+class TestLabeledImage:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            LabeledImage(image=np.zeros((2, 2, 2)), label=0)
+        with pytest.raises(ValueError):
+            LabeledImage(image=np.zeros((2, 2)), label=-1)
+
+    def test_is_defective_follows_boxes(self):
+        img = np.zeros((4, 4))
+        assert not LabeledImage(image=img, label=0).is_defective
+        item = LabeledImage(image=img, label=1,
+                            defect_boxes=[BoundingBox(0, 0, 2, 2)])
+        assert item.is_defective
+
+
+class TestDatasetContainer:
+    def test_validation(self, tiny_ksdd):
+        with pytest.raises(ValueError):
+            Dataset(name="x", images=tiny_ksdd.images, task="weird",
+                    class_names=["a"])
+        with pytest.raises(ValueError):
+            Dataset(name="x", images=tiny_ksdd.images, task="binary",
+                    class_names=[])
+
+    def test_subset_preserves_metadata(self, tiny_ksdd):
+        sub = tiny_ksdd.subset([0, 2, 4])
+        assert len(sub) == 3
+        assert sub.task == tiny_ksdd.task
+        assert sub.images[1] is tiny_ksdd.images[2]
+
+    def test_labels_and_counts(self, tiny_ksdd):
+        labels = tiny_ksdd.labels
+        assert labels.shape == (len(tiny_ksdd),)
+        assert tiny_ksdd.n_defective == int(labels.sum())
+
+    def test_summary(self, tiny_ksdd):
+        s = tiny_ksdd.summary()
+        assert s["n"] == len(tiny_ksdd)
+        assert "x" in s["image_size"]
+
+
+class TestKSDD:
+    def test_counts_and_shape(self, tiny_ksdd):
+        assert len(tiny_ksdd) == 40
+        assert tiny_ksdd.n_defective == 8
+        h, w = tiny_ksdd.image_shape
+        assert h >= 16 and w >= 16
+        assert tiny_ksdd.task == "binary"
+
+    def test_default_config_matches_table1(self):
+        cfg = KSDDConfig()
+        assert cfg.n_images == 399
+        assert cfg.n_defective == 52
+        assert cfg.image_shape == (50, 126)  # 500 x 1257 at scale 0.1
+
+    def test_defect_boxes_inside_image(self, tiny_ksdd):
+        h, w = tiny_ksdd.image_shape
+        for item in tiny_ksdd.images:
+            for box in item.defect_boxes:
+                assert 0 <= box.y and box.y2 <= h + 1e-9
+                assert 0 <= box.x and box.x2 <= w + 1e-9
+
+    def test_labels_match_boxes(self, tiny_ksdd):
+        for item in tiny_ksdd.images:
+            assert item.label == int(item.is_defective)
+
+    def test_pixel_range(self, tiny_ksdd):
+        for item in tiny_ksdd.images[:5]:
+            assert item.image.min() >= 0.0 and item.image.max() <= 1.0
+
+    def test_determinism(self):
+        cfg = KSDDConfig(n_images=6, n_defective=2, scale=0.08)
+        a = make_ksdd(cfg, seed=42)
+        b = make_ksdd(cfg, seed=42)
+        for ia, ib in zip(a.images, b.images):
+            np.testing.assert_array_equal(ia.image, ib.image)
+            assert ia.label == ib.label
+
+    def test_different_seeds_differ(self):
+        cfg = KSDDConfig(n_images=4, n_defective=1, scale=0.08)
+        a = make_ksdd(cfg, seed=1)
+        b = make_ksdd(cfg, seed=2)
+        assert any(
+            not np.array_equal(ia.image, ib.image)
+            for ia, ib in zip(a.images, b.images)
+        )
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            KSDDConfig(n_images=5, n_defective=6)
+        with pytest.raises(ValueError):
+            KSDDConfig(scale=0.0)
+
+
+class TestProduct:
+    @pytest.mark.parametrize("variant", ["scratch", "bubble", "stamping"])
+    def test_variants_generate(self, variant):
+        ds = make_product(
+            ProductConfig(variant=variant, n_images=10, n_defective=3,
+                          scale=0.12),
+            seed=0,
+        )
+        assert len(ds) == 10
+        assert ds.n_defective == 3
+        assert ds.name == f"product_{variant}"
+        defect_types = {i.defect_type for i in ds.images if i.is_defective}
+        assert defect_types == {variant}
+
+    def test_table1_defaults(self):
+        cfg = ProductConfig(variant="scratch")
+        assert cfg.resolved_n_images == 1673
+        assert cfg.resolved_n_defective == 727
+
+    def test_balance_preserved_when_shrunk(self):
+        cfg = ProductConfig(variant="bubble", n_images=100)
+        # 102/1048 ~ 9.7% -> ~10 defectives out of 100.
+        assert 5 <= cfg.resolved_n_defective <= 15
+
+    def test_stamping_positions_are_stable(self):
+        ds = make_product(
+            ProductConfig(variant="stamping", n_images=16, n_defective=8,
+                          scale=0.12),
+            seed=1,
+        )
+        xs = []
+        for item in ds.images:
+            if item.is_defective:
+                box = item.defect_boxes[0]
+                xs.append(box.center[1] / item.shape[1])
+        # First stamping mark is always near one of the fixed positions.
+        assert all(
+            min(abs(x - p) for p in (0.2, 0.5, 0.8)) < 0.1 for x in xs
+        )
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            ProductConfig(variant="dent")
+
+
+class TestNEU:
+    def test_interleaved_classes(self, tiny_neu):
+        assert len(tiny_neu) == 4 * 6
+        assert tiny_neu.task == "multiclass"
+        counts = np.bincount(tiny_neu.labels, minlength=6)
+        assert (counts == 4).all()
+
+    def test_every_image_defective(self, tiny_neu):
+        assert all(item.is_defective for item in tiny_neu.images)
+
+    def test_square_images(self, tiny_neu):
+        h, w = tiny_neu.image_shape
+        assert h == w
+
+    def test_class_names(self, tiny_neu):
+        assert tuple(tiny_neu.class_names) == NEU_CLASSES
+
+    def test_defect_type_matches_label(self, tiny_neu):
+        for item in tiny_neu.images:
+            assert NEU_CLASSES[item.label] == item.defect_type
+
+
+class TestPretext:
+    def test_corpus_shape(self):
+        ds = make_pretext_corpus(PretextConfig(per_class=3, size=16), seed=0)
+        assert len(ds) == 3 * 8
+        assert ds.image_shape == (16, 16)
+        assert ds.task == "multiclass"
+
+    def test_classes_distinguishable_by_mean_profile(self):
+        # Smoke check that classes are not identical distributions.
+        ds = make_pretext_corpus(PretextConfig(per_class=5, size=16), seed=0)
+        per_class_std = {}
+        for item in ds.images:
+            per_class_std.setdefault(item.label, []).append(item.image.std())
+        means = [np.mean(v) for v in per_class_std.values()]
+        assert max(means) - min(means) > 0.01
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_make_dataset_all_names(self, name):
+        ds = make_dataset(name, scale=0.1, seed=0, n_images=12)
+        assert len(ds) >= 12 - 1  # NEU rounds to a multiple of 6
+        assert ds.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_dataset("mnist")
+
+    def test_reference_dev_sizes(self):
+        assert reference_dev_size("ksdd") == 78
+        assert reference_dev_size("neu") == 600
+        assert reference_dev_size("ksdd", n_images=100) == pytest.approx(
+            78 * 100 / 399, abs=1
+        )
+        with pytest.raises(KeyError):
+            reference_dev_size("bad")
+
+
+class TestStratifiedSplit:
+    def test_sizes(self, tiny_ksdd):
+        first, rest = stratified_split(tiny_ksdd, 10, seed=0)
+        assert len(first) == 10
+        assert len(rest) == len(tiny_ksdd) - 10
+
+    def test_no_overlap_and_complete(self, tiny_ksdd):
+        first, rest = stratified_split(tiny_ksdd, 12, seed=0)
+        ids_first = {id(i) for i in first.images}
+        ids_rest = {id(i) for i in rest.images}
+        assert not ids_first & ids_rest
+        assert len(ids_first | ids_rest) == len(tiny_ksdd)
+
+    def test_preserves_class_ratio(self, tiny_ksdd):
+        first, _ = stratified_split(tiny_ksdd, 20, seed=0)
+        ratio_pool = tiny_ksdd.n_defective / len(tiny_ksdd)
+        ratio_first = first.n_defective / len(first)
+        assert abs(ratio_first - ratio_pool) < 0.1
+
+    def test_invalid_size(self, tiny_ksdd):
+        with pytest.raises(ValueError):
+            stratified_split(tiny_ksdd, 0)
+        with pytest.raises(ValueError):
+            stratified_split(tiny_ksdd, len(tiny_ksdd))
+
+    @given(size=st.integers(6, 30))
+    def test_multiclass_split_keeps_all_classes(self, size):
+        from repro.datasets.neu import NEUConfig, make_neu
+
+        ds = make_neu(NEUConfig(per_class=6, scale=0.14), seed=0)
+        first, _ = stratified_split(ds, size, seed=1)
+        assert set(np.unique(first.labels)) == set(range(6))

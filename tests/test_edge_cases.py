@@ -1,0 +1,140 @@
+"""Edge-case tests filling coverage gaps across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InspectorGadget, InspectorGadgetConfig
+from repro.crowd import CrowdsourcingWorkflow, WorkflowConfig
+from repro.datasets.base import Dataset, LabeledImage
+from repro.datasets.registry import reference_dev_size
+from repro.features import FeatureGenerator
+from repro.imaging.pyramid import PyramidMatcher
+from repro.labeler.mlp import MLPLabeler
+
+
+class TestPipelineEdges:
+    def test_predict_features_fast_path(self, tiny_ksdd):
+        from repro.augment import AugmentConfig
+
+        config = InspectorGadgetConfig(
+            workflow=WorkflowConfig(target_defective=4),
+            augment=AugmentConfig(mode="none"),
+            tune=False, labeler_max_iter=30, seed=0,
+        )
+        ig = InspectorGadget(config)
+        ig.fit(tiny_ksdd)
+        features = ig.feature_generator.transform(
+            tiny_ksdd.subset([0, 1])
+        ).values
+        weak_fast = ig.predict_features(features)
+        weak_slow = ig.predict(tiny_ksdd.subset([0, 1]))
+        np.testing.assert_allclose(weak_fast.probs, weak_slow.probs)
+
+    def test_predict_features_before_fit_raises(self):
+        ig = InspectorGadget()
+        with pytest.raises(RuntimeError):
+            ig.predict_features(np.zeros((2, 3)))
+
+    def test_crowd_with_no_patterns_raises(self):
+        # A dataset with no defects and workers that never draw spurious
+        # boxes yields zero patterns -> pipeline must fail loudly.
+        from repro.crowd import WorkerProfile
+
+        img = np.full((20, 20), 0.5)
+        items = [LabeledImage(image=img, label=0) for _ in range(6)]
+        ds = Dataset(name="clean", images=items, task="binary",
+                     class_names=["ok", "defect"])
+        config = InspectorGadgetConfig(
+            workflow=WorkflowConfig(
+                target_defective=1,
+                worker_profile=WorkerProfile(spurious_rate=0.0),
+            ),
+            seed=0,
+        )
+        with pytest.raises(RuntimeError, match="no patterns"):
+            InspectorGadget(config).fit(ds)
+
+
+class TestWorkflowStrategies:
+    @pytest.mark.parametrize("strategy", ["average", "union", "intersection"])
+    def test_combine_strategies_run(self, tiny_ksdd, strategy):
+        wf = CrowdsourcingWorkflow(
+            WorkflowConfig(target_defective=4, combine_strategy=strategy),
+            seed=5,
+        )
+        result = wf.run(tiny_ksdd)
+        assert result.patterns
+        assert all(min(p.shape) >= 3 for p in result.patterns)
+
+    def test_union_patterns_at_least_as_large(self, tiny_ksdd):
+        def mean_area(strategy):
+            wf = CrowdsourcingWorkflow(
+                WorkflowConfig(target_defective=5, combine_strategy=strategy,
+                               use_peer_review=False),
+                seed=6,
+            )
+            pats = wf.run(tiny_ksdd).patterns
+            return np.mean([p.array.size for p in pats])
+
+        assert mean_area("union") >= mean_area("intersection")
+
+
+class TestLabelerEdges:
+    def test_threshold_only_for_binary(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(60, 3))
+        y = rng.integers(0, 3, size=60)
+        labeler = MLPLabeler(input_dim=3, hidden=(8,), n_classes=3, seed=0,
+                             max_iter=30)
+        labeler.fit(x, y)
+        assert labeler._threshold == 0.5  # untouched for multi-class
+
+    def test_binary_threshold_is_tuned(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 2))
+        y = (x[:, 0] > 0.8).astype(int)  # ~20% positives
+        labeler = MLPLabeler(input_dim=2, hidden=(4,), seed=0, max_iter=60)
+        labeler.fit(x, y)
+        assert 0.0 <= labeler._threshold <= 1.0
+
+    def test_restarts_validation(self):
+        with pytest.raises(ValueError):
+            MLPLabeler(input_dim=2, restarts=0)
+
+    def test_unbalanced_flag(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30, 2))
+        y = (x[:, 0] > 0).astype(int)
+        labeler = MLPLabeler(input_dim=2, balanced=False, seed=0, max_iter=30)
+        labeler.fit(x, y)
+        assert labeler._loss.class_weight is None
+
+
+class TestRegistryEdges:
+    @pytest.mark.parametrize("name,expected", [
+        ("product_scratch", 170),
+        ("product_bubble", 104),
+        ("product_stamping", 109),
+    ])
+    def test_reference_dev_sizes_products(self, name, expected):
+        assert reference_dev_size(name) == expected
+
+    def test_minimum_dev_size_floor(self):
+        assert reference_dev_size("ksdd", n_images=10) >= 6
+
+
+class TestFeatureGeneratorSharing:
+    def test_matcher_shared_across_fgfs(self, toy_patterns):
+        matcher = PyramidMatcher(factor=2)
+        fg = FeatureGenerator(toy_patterns, matcher)
+        assert all(f.matcher is matcher for f in fg.fgfs)
+
+    def test_same_matcher_same_results(self, toy_patterns, rng):
+        images = [rng.random((20, 25)) for _ in range(3)]
+        a = FeatureGenerator(toy_patterns,
+                             PyramidMatcher(factor=2)).transform_images(images)
+        b = FeatureGenerator(toy_patterns,
+                             PyramidMatcher(factor=2)).transform_images(images)
+        np.testing.assert_array_equal(a.values, b.values)

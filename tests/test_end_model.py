@@ -1,0 +1,110 @@
+"""Tests for the end-model experiment helpers (Table 5 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, LabeledImage, stratified_split
+from repro.eval.end_model import (
+    end_model_comparison,
+    tipping_point,
+    train_end_model,
+)
+from repro.labeler.weak_labels import WeakLabels
+
+
+def _toy_dataset(n: int = 40, seed: int = 0) -> Dataset:
+    """Trivially separable images: defective ones carry a bright square."""
+    rng = np.random.default_rng(seed)
+    items = []
+    for i in range(n):
+        img = rng.normal(0.4, 0.03, size=(16, 16)).clip(0, 1)
+        label = int(i % 2 == 0)
+        if label:
+            img[4:10, 4:10] += 0.5
+            img = img.clip(0, 1)
+        items.append(LabeledImage(image=img, label=label))
+    return Dataset(name="toy", images=items, task="binary",
+                   class_names=["ok", "defect"])
+
+
+@pytest.fixture(scope="module")
+def toy():
+    full = _toy_dataset(60)
+    dev, rest = stratified_split(full, 16, seed=0)
+    pool, test = stratified_split(rest, 22, seed=1)
+    return dev, pool, test
+
+
+class TestTrainEndModel:
+    def test_learns_separable_task(self, toy):
+        dev, pool, test = toy
+        model = train_end_model(dev, dev.labels, arch="vgg",
+                                input_shape=(16, 16), epochs=10, seed=0)
+        from repro.baselines.cnn_zoo import dataset_to_tensor
+
+        acc = (model.predict(dataset_to_tensor(test, (16, 16)))
+               == test.labels).mean()
+        assert acc > 0.7
+
+
+class TestEndModelComparison:
+    def test_returns_two_scores(self, toy):
+        dev, pool, test = toy
+        weak = WeakLabels(probs=np.stack(
+            [1.0 - pool.labels.astype(float), pool.labels.astype(float)],
+            axis=1,
+        ))
+        f1_dev, f1_weak = end_model_comparison(
+            dev, pool, weak, test, arch="vgg", input_shape=(16, 16),
+            epochs=8, seed=0,
+        )
+        assert 0.0 <= f1_dev <= 1.0
+        assert 0.0 <= f1_weak <= 1.0
+
+    def test_confidence_filter_drops_uncertain(self, toy):
+        dev, pool, test = toy
+        # All weak labels are 55/45 coin flips: the 0.9 filter keeps none,
+        # and the fallback trains on everything rather than crashing.
+        probs = np.full((len(pool), 2), 0.5)
+        probs[:, 1] = 0.55
+        probs[:, 0] = 0.45
+        weak = WeakLabels(probs=probs)
+        f1_dev, f1_weak = end_model_comparison(
+            dev, pool, weak, test, arch="vgg", input_shape=(16, 16),
+            epochs=4, seed=0, confidence_threshold=0.9,
+        )
+        assert 0.0 <= f1_weak <= 1.0
+
+    def test_mismatched_pool_raises(self, toy):
+        dev, pool, test = toy
+        weak = WeakLabels(probs=np.tile([0.5, 0.5], (3, 1)))
+        with pytest.raises(ValueError):
+            end_model_comparison(dev, pool, weak, test, arch="vgg",
+                                 input_shape=(16, 16), epochs=2)
+
+
+class TestTippingPoint:
+    def test_immediate_target(self, toy):
+        dev, pool, test = toy
+        # Target 0 is reached at the first multiplier.
+        tip = tipping_point(dev, pool, test, target_f1=0.0, arch="vgg",
+                            multipliers=(1.5,), input_shape=(16, 16),
+                            epochs=4, seed=0)
+        assert tip == 1.5
+
+    def test_unreachable_target(self, toy):
+        dev, pool, test = toy
+        tip = tipping_point(dev, pool, test, target_f1=1.1, arch="vgg",
+                            multipliers=(1.5,), input_shape=(16, 16),
+                            epochs=2, seed=0)
+        assert tip is None
+
+    def test_budget_exhausted_returns_none(self, toy):
+        dev, pool, test = toy
+        # Multiplier demands more extra images than the pool holds.
+        tip = tipping_point(dev, pool, test, target_f1=0.0, arch="vgg",
+                            multipliers=(50.0,), input_shape=(16, 16),
+                            epochs=2, seed=0)
+        assert tip is None

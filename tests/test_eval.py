@@ -1,0 +1,151 @@
+"""Tests for metrics, error analysis, end-model helpers and the harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.base import Dataset, LabeledImage
+from repro.eval.error_analysis import CAUSES, analyze_errors
+from repro.eval.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_macro,
+    f1_score,
+    precision_recall_f1,
+)
+from repro.imaging.boxes import BoundingBox
+
+settings.register_profile("repro", max_examples=25, deadline=None)
+settings.load_profile("repro")
+
+labels_st = st.lists(st.integers(0, 1), min_size=1, max_size=40)
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 1, 0])
+        p, r, f1 = precision_recall_f1(y, y)
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+    def test_known_values(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        p, r, f1 = precision_recall_f1(y_true, y_pred)
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_no_predicted_positives(self):
+        p, r, f1 = precision_recall_f1(np.array([1, 0]), np.array([0, 0]))
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_no_true_positives(self):
+        p, r, f1 = precision_recall_f1(np.array([0, 0]), np.array([1, 0]))
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_f1_macro_known(self):
+        y_true = np.array([0, 0, 1, 1, 2, 2])
+        y_pred = np.array([0, 0, 1, 1, 2, 2])
+        assert f1_macro(y_true, y_pred) == 1.0
+
+    def test_f1_macro_partial(self):
+        y_true = np.array([0, 1, 2])
+        y_pred = np.array([0, 1, 1])
+        # Classes 0 and 1 partially right, class 2 entirely wrong.
+        assert 0 < f1_macro(y_true, y_pred) < 1
+
+    def test_f1_score_dispatch(self):
+        y = np.array([0, 1])
+        assert f1_score(y, y, "binary") == 1.0
+        assert f1_score(y, y, "multiclass") == 1.0
+        with pytest.raises(ValueError):
+            f1_score(y, y, "regression")
+
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_confusion_matrix(self):
+        y_true = np.array([0, 1, 1, 2])
+        y_pred = np.array([0, 1, 2, 2])
+        mat = confusion_matrix(y_true, y_pred)
+        assert mat[0, 0] == 1 and mat[1, 1] == 1 and mat[1, 2] == 1
+        assert mat.sum() == 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    @given(labels_st)
+    def test_f1_of_self_is_one_or_zero(self, labels):
+        y = np.array(labels)
+        f1 = f1_score(y, y, "binary")
+        assert f1 == (1.0 if (y == 1).any() else 0.0)
+
+    @given(labels_st, labels_st)
+    def test_f1_bounded(self, a, b):
+        n = min(len(a), len(b))
+        f1 = f1_score(np.array(a[:n]), np.array(b[:n]), "binary")
+        assert 0.0 <= f1 <= 1.0
+
+    @given(st.lists(st.integers(0, 3), min_size=2, max_size=30))
+    def test_macro_f1_perfect_is_one(self, labels):
+        y = np.array(labels)
+        assert f1_macro(y, y, n_classes=4) == pytest.approx(
+            len(np.unique(y)) / 4
+        )
+
+
+def _analysis_dataset():
+    """Six images: clean-correct, noisy-error, difficult-error, plain-error."""
+    img = np.full((8, 8), 0.5)
+    box = [BoundingBox(1, 1, 3, 3)]
+    items = [
+        LabeledImage(image=img, label=1, defect_boxes=box),          # correct
+        LabeledImage(image=img, label=0),                            # correct
+        LabeledImage(image=img, label=1, defect_boxes=box, noisy=True),
+        LabeledImage(image=img, label=1, defect_boxes=box, difficulty=0.05),
+        LabeledImage(image=img, label=1, defect_boxes=box, difficulty=0.9),
+        LabeledImage(image=img, label=0, noisy=False),
+    ]
+    return Dataset(name="t", images=items, task="binary",
+                   class_names=["ok", "defect"])
+
+
+class TestErrorAnalysis:
+    def test_bucketing(self):
+        ds = _analysis_dataset()
+        pred = np.array([1, 0, 0, 0, 0, 1])  # last four are errors
+        breakdown = analyze_errors(ds, pred, difficult_threshold=0.15)
+        assert breakdown.n_errors == 4
+        assert breakdown.counts["noisy_data"] == 1
+        assert breakdown.counts["difficult"] == 1
+        assert breakdown.counts["matching_failure"] == 2
+
+    def test_fractions_sum_to_one(self):
+        ds = _analysis_dataset()
+        pred = np.array([0, 1, 0, 0, 0, 1])
+        breakdown = analyze_errors(ds, pred)
+        assert sum(breakdown.fractions.values()) == pytest.approx(1.0)
+
+    def test_no_errors(self):
+        ds = _analysis_dataset()
+        pred = ds.labels
+        breakdown = analyze_errors(ds, pred)
+        assert breakdown.n_errors == 0
+        assert all(v == 0.0 for v in breakdown.fractions.values())
+
+    def test_rows_structure(self):
+        ds = _analysis_dataset()
+        rows = analyze_errors(ds, np.zeros(6)).rows()
+        assert [r[0] for r in rows] == list(CAUSES)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            analyze_errors(_analysis_dataset(), np.zeros(3))

@@ -1,0 +1,86 @@
+"""Tests for the experiment harness used by the benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    BENCH_PROFILE,
+    FAST_PROFILE,
+    ExperimentProfile,
+    build_ig_config,
+    prepare_context,
+    run_goggles,
+    run_self_learning,
+    run_transfer,
+)
+
+
+class TestProfiles:
+    def test_fast_profile_is_cheap(self):
+        assert FAST_PROFILE.n_images <= BENCH_PROFILE.n_images
+        assert FAST_PROFILE.rgan_epochs <= BENCH_PROFILE.rgan_epochs
+        assert not FAST_PROFILE.tune
+
+    def test_profile_is_frozen(self):
+        with pytest.raises(Exception):
+            FAST_PROFILE.scale = 1.0  # type: ignore[misc]
+
+    def test_replace_produces_variant(self):
+        heavier = replace(FAST_PROFILE, n_images=100)
+        assert heavier.n_images == 100
+        assert FAST_PROFILE.n_images != 100
+
+
+class TestBuildIgConfig:
+    def test_maps_profile_fields(self):
+        config = build_ig_config(FAST_PROFILE)
+        assert config.augment.mode == FAST_PROFILE.augment_mode
+        assert config.augment.n_policy == FAST_PROFILE.n_policy
+        assert config.labeler_max_iter == FAST_PROFILE.labeler_max_iter
+        assert config.tune == FAST_PROFILE.tune
+
+    def test_overrides(self):
+        config = build_ig_config(FAST_PROFILE, mode="gan", n_gan=99, seed=7)
+        assert config.augment.mode == "gan"
+        assert config.augment.n_gan == 99
+        assert config.seed == 7
+
+
+class TestContext:
+    def test_dev_test_partition(self):
+        ctx = prepare_context("ksdd", FAST_PROFILE, seed=4)
+        dev_ids = set(ctx.crowd.dev_indices)
+        assert len(ctx.dev) == len(dev_ids)
+        assert len(ctx.dev) + len(ctx.test) == len(ctx.dataset)
+
+    def test_same_seed_same_context(self):
+        a = prepare_context("ksdd", FAST_PROFILE, seed=5)
+        b = prepare_context("ksdd", FAST_PROFILE, seed=5)
+        assert a.crowd.dev_indices == b.crowd.dev_indices
+        np.testing.assert_array_equal(a.dataset.labels, b.dataset.labels)
+
+    def test_neu_context(self):
+        profile = replace(FAST_PROFILE, n_images=36, scale=0.16)
+        ctx = prepare_context("neu", profile, dev_budget=12, seed=0)
+        assert ctx.dataset.task == "multiclass"
+        assert len(ctx.dev) == 12
+
+
+class TestBaselineRunners:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return prepare_context("ksdd", FAST_PROFILE, seed=6)
+
+    def test_run_self_learning_bounded(self, ctx):
+        f1 = run_self_learning(ctx, arch="mobilenet")
+        assert 0.0 <= f1 <= 1.0
+
+    def test_run_transfer_bounded(self, ctx):
+        assert 0.0 <= run_transfer(ctx) <= 1.0
+
+    def test_run_goggles_bounded(self, ctx):
+        assert 0.0 <= run_goggles(ctx) <= 1.0

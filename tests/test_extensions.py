@@ -1,0 +1,162 @@
+"""Tests for the paper's extension features: novelty detection and
+automated (RPN-style) defect proposals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.auto_proposals import (
+    AutoProposalConfig,
+    auto_annotate,
+    propose_boxes,
+)
+from repro.datasets.base import Dataset, LabeledImage
+from repro.labeler.novelty import NoveltyDetector
+
+
+class TestNoveltyDetector:
+    def _features(self, rng, n=40, p=6):
+        return rng.normal(0.0, 1.0, size=(n, p))
+
+    def test_known_data_mostly_not_novel(self, rng):
+        dev = self._features(rng)
+        detector = NoveltyDetector(target_false_rate=0.1).fit(dev)
+        more_known = self._features(np.random.default_rng(1))
+        report = detector.detect(more_known)
+        assert report.is_novel.mean() < 0.5
+
+    def test_far_outliers_flagged(self, rng):
+        dev = self._features(rng)
+        detector = NoveltyDetector().fit(dev)
+        outliers = self._features(np.random.default_rng(2)) + 50.0
+        report = detector.detect(outliers)
+        assert report.is_novel.all()
+        assert (report.scores > report.threshold).all()
+
+    def test_threshold_calibration_monotone(self, rng):
+        dev = self._features(rng)
+        strict = NoveltyDetector(target_false_rate=0.01).fit(dev)
+        loose = NoveltyDetector(target_false_rate=0.5).fit(dev)
+        assert strict.threshold_ >= loose.threshold_
+
+    def test_novel_indices(self, rng):
+        dev = self._features(rng)
+        detector = NoveltyDetector().fit(dev)
+        mixed = np.vstack([self._features(np.random.default_rng(3), n=5),
+                           self._features(np.random.default_rng(4), n=5) + 50])
+        report = detector.detect(mixed)
+        assert set(report.novel_indices) >= set(range(5, 10))
+
+    def test_unfit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            NoveltyDetector().score(self._features(rng))
+
+    def test_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            NoveltyDetector().fit(np.zeros((2, 3)))
+        detector = NoveltyDetector().fit(self._features(rng))
+        with pytest.raises(ValueError):
+            detector.score(np.zeros((2, 99)))
+
+    def test_degenerate_dev_set_survives(self):
+        dev = np.ones((10, 4))
+        detector = NoveltyDetector().fit(dev)
+        report = detector.detect(np.ones((3, 4)))
+        assert not report.is_novel.any()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            NoveltyDetector(target_false_rate=1.5)
+
+    def test_integration_with_fgf_features(self, tiny_ksdd, ksdd_crowd):
+        """Images with planted alien defects score higher than normal ones."""
+        from repro.features import FeatureGenerator
+
+        fg = FeatureGenerator(ksdd_crowd.patterns)
+        dev_x = fg.transform(ksdd_crowd.dev).values
+        detector = NoveltyDetector(target_false_rate=0.1).fit(dev_x)
+        # An "alien" image: checkerboard, nothing like a commutator.
+        h, w = tiny_ksdd.image_shape
+        yy, xx = np.mgrid[:h, :w]
+        alien = ((yy // 3 + xx // 3) % 2).astype(float)
+        normal = tiny_ksdd[0].image
+        scores = detector.score(fg.transform_images([alien, normal]).values)
+        assert scores[0] > scores[1]
+
+
+def _proposal_dataset() -> Dataset:
+    rng = np.random.default_rng(0)
+    items = []
+    for i in range(6):
+        img = rng.normal(0.5, 0.01, size=(30, 40)).clip(0, 1)
+        boxes = []
+        label = 0
+        if i % 2 == 0:
+            img[10:16, 20:28] += 0.35
+            img = img.clip(0, 1)
+            boxes = [__import__("repro.imaging.boxes", fromlist=["BoundingBox"])
+                     .BoundingBox(10, 20, 6, 8)]
+            label = 1
+        items.append(LabeledImage(image=img, label=label, defect_boxes=boxes))
+    return Dataset(name="prop", images=items, task="binary",
+                   class_names=["ok", "defect"])
+
+
+class TestAutoProposals:
+    def test_finds_planted_anomaly(self):
+        ds = _proposal_dataset()
+        boxes = propose_boxes(ds[0].image)
+        assert boxes, "expected at least one proposal"
+        best = boxes[0]
+        true = ds[0].defect_boxes[0]
+        assert best.intersection_area(true) > 0
+
+    def test_clean_image_few_proposals(self):
+        ds = _proposal_dataset()
+        boxes = propose_boxes(ds[1].image)
+        assert len(boxes) <= 2
+
+    def test_max_proposals_respected(self):
+        rng = np.random.default_rng(1)
+        img = rng.normal(0.5, 0.01, size=(40, 40)).clip(0, 1)
+        for y in range(0, 40, 8):
+            img[y : y + 3, 0:4] += 0.4
+        img = img.clip(0, 1)
+        config = AutoProposalConfig(max_proposals=2)
+        assert len(propose_boxes(img, config)) <= 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoProposalConfig(window=1)
+        with pytest.raises(ValueError):
+            AutoProposalConfig(z_threshold=0)
+        with pytest.raises(ValueError):
+            AutoProposalConfig(max_area_fraction=0)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            propose_boxes(np.zeros((2, 2, 2)))
+
+    def test_auto_annotate_produces_patterns(self):
+        ds = _proposal_dataset()
+        patterns = auto_annotate(ds)
+        assert patterns
+        assert all(p.provenance == "crowd" for p in patterns)
+        assert all(min(p.shape) >= 3 for p in patterns)
+
+    def test_auto_annotate_budget(self):
+        ds = _proposal_dataset()
+        limited = auto_annotate(ds, indices=[0])
+        full = auto_annotate(ds)
+        assert len(limited) <= len(full)
+
+    def test_auto_patterns_feed_pipeline(self):
+        """Auto proposals can replace the crowd for feature generation."""
+        from repro.features import FeatureGenerator
+
+        ds = _proposal_dataset()
+        patterns = auto_annotate(ds)
+        fg = FeatureGenerator(patterns)
+        fm = fg.transform(ds)
+        assert fm.values.shape == (len(ds), len(patterns))

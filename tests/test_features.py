@@ -1,0 +1,94 @@
+"""Tests for feature generation functions and the feature matrix builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import FeatureGenerationFunction, FeatureGenerator, FeatureMatrix
+from repro.imaging.pyramid import PyramidMatcher
+from repro.patterns import Pattern
+
+
+class TestPattern:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pattern(array=np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            Pattern(array=np.zeros((3, 3, 3)))
+        with pytest.raises(ValueError):
+            Pattern(array=np.zeros((3, 3)), provenance="alien")
+        with pytest.raises(ValueError):
+            Pattern(array=np.zeros((3, 3)), label=-1)
+
+    def test_coerces_float(self):
+        p = Pattern(array=np.zeros((3, 3), dtype=np.int64))
+        assert p.array.dtype == np.float64
+        assert p.shape == (3, 3)
+
+
+class TestFGF:
+    def test_returns_similarity_in_range(self, rng, toy_patterns):
+        fgf = FeatureGenerationFunction(toy_patterns[0])
+        score = fgf(rng.random((30, 30)))
+        assert 0.0 <= score <= 1.0
+
+    def test_planted_pattern_scores_near_one(self, rng, toy_patterns):
+        pattern = toy_patterns[0]
+        image = rng.random((25, 30)) * 0.2
+        h, w = pattern.shape
+        image[5 : 5 + h, 7 : 7 + w] = pattern.array
+        fgf = FeatureGenerationFunction(pattern, PyramidMatcher(enabled=False))
+        assert fgf(image) == pytest.approx(1.0, abs=1e-6)
+
+    def test_oversized_pattern_shrunk_to_fit(self, rng):
+        big = Pattern(array=rng.random((20, 20)))
+        fgf = FeatureGenerationFunction(big)
+        score = fgf(rng.random((8, 8)))
+        assert 0.0 <= score <= 1.0
+
+
+class TestFeatureGenerator:
+    def test_matrix_shape(self, rng, toy_patterns, tiny_ksdd):
+        fg = FeatureGenerator(toy_patterns)
+        fm = fg.transform(tiny_ksdd.subset([0, 1, 2]))
+        assert fm.values.shape == (3, len(toy_patterns))
+        assert fm.n_images == 3 and fm.n_patterns == len(toy_patterns)
+
+    def test_pattern_labels_carried(self, toy_patterns, tiny_ksdd):
+        fg = FeatureGenerator(toy_patterns)
+        fm = fg.transform(tiny_ksdd.subset([0]))
+        np.testing.assert_array_equal(fm.pattern_labels,
+                                      [p.label for p in toy_patterns])
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureGenerator([])
+
+    def test_empty_images_rejected(self, toy_patterns):
+        fg = FeatureGenerator(toy_patterns)
+        with pytest.raises(ValueError):
+            fg.transform_images([])
+
+    def test_values_bounded(self, toy_patterns, tiny_ksdd):
+        fg = FeatureGenerator(toy_patterns)
+        fm = fg.transform(tiny_ksdd.subset(list(range(6))))
+        assert fm.values.min() >= 0.0 and fm.values.max() <= 1.0
+
+    def test_defective_images_score_higher_on_own_pattern(self, tiny_ksdd,
+                                                          ksdd_crowd):
+        """The core FGF premise: a defect's own pattern matches it best."""
+        pattern = ksdd_crowd.patterns[0]
+        src = pattern.source_image
+        fg = FeatureGenerator([pattern], PyramidMatcher(enabled=False))
+        own = fg.transform_images([tiny_ksdd[src].image]).values[0, 0]
+        clean = [i for i, item in enumerate(tiny_ksdd.images)
+                 if not item.is_defective][:5]
+        others = fg.transform(tiny_ksdd.subset(clean)).values[:, 0]
+        assert own >= others.max() - 1e-6
+
+    def test_matrix_validation(self):
+        with pytest.raises(ValueError):
+            FeatureMatrix(values=np.zeros(3), pattern_labels=np.zeros(3))
+        with pytest.raises(ValueError):
+            FeatureMatrix(values=np.zeros((2, 3)), pattern_labels=np.zeros(2))

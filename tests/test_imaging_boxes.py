@@ -1,0 +1,179 @@
+"""Tests for bounding boxes, grouping and combine strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.boxes import BoundingBox, combine_boxes, group_overlapping, iou
+
+settings.register_profile("repro", max_examples=30, deadline=None)
+settings.load_profile("repro")
+
+boxes_st = st.builds(
+    BoundingBox,
+    y=st.floats(-10, 50),
+    x=st.floats(-10, 50),
+    height=st.floats(0.5, 20),
+    width=st.floats(0.5, 20),
+)
+
+
+class TestBoundingBox:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 0, 5)
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 5, -1)
+
+    def test_geometry_properties(self):
+        b = BoundingBox(2, 3, 4, 6)
+        assert b.y2 == 6 and b.x2 == 9
+        assert b.area == 24
+        assert b.center == (4.0, 6.0)
+
+    def test_intersection_area_disjoint(self):
+        a = BoundingBox(0, 0, 2, 2)
+        b = BoundingBox(5, 5, 2, 2)
+        assert a.intersection_area(b) == 0.0
+
+    def test_intersection_area_partial(self):
+        a = BoundingBox(0, 0, 4, 4)
+        b = BoundingBox(2, 2, 4, 4)
+        assert a.intersection_area(b) == pytest.approx(4.0)
+
+    def test_clip_to_bounds(self):
+        b = BoundingBox(-5, -5, 20, 20).clip_to((10, 10))
+        assert b.y >= 0 and b.x >= 0
+        assert b.y2 <= 10 and b.x2 <= 10
+
+    def test_clip_keeps_minimum_size(self):
+        b = BoundingBox(9.5, 9.5, 50, 50).clip_to((10, 10))
+        assert b.height >= 1.0 and b.width >= 1.0
+
+    def test_int_slices_cover_box(self):
+        b = BoundingBox(1.2, 2.7, 3.1, 2.2)
+        rows, cols = b.to_int_slices()
+        assert rows.start <= 1.2 and rows.stop >= 1.2 + 3.1
+        assert cols.start <= 2.7 and cols.stop >= 2.7 + 2.2
+
+    def test_scaled(self):
+        b = BoundingBox(2, 4, 6, 8).scaled(0.5)
+        assert (b.y, b.x, b.height, b.width) == (1, 2, 3, 4)
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 1, 1).scaled(0)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        b = BoundingBox(1, 1, 3, 3)
+        assert iou(b, b) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert iou(BoundingBox(0, 0, 1, 1), BoundingBox(5, 5, 1, 1)) == 0.0
+
+    def test_known_value(self):
+        a = BoundingBox(0, 0, 2, 2)
+        b = BoundingBox(1, 1, 2, 2)
+        assert iou(a, b) == pytest.approx(1.0 / 7.0)
+
+    @given(a=boxes_st, b=boxes_st)
+    def test_symmetry_and_bounds(self, a, b):
+        v = iou(a, b)
+        assert 0.0 <= v <= 1.0 + 1e-12
+        assert v == pytest.approx(iou(b, a))
+
+
+class TestGrouping:
+    def test_all_disjoint_singletons(self):
+        boxes = [BoundingBox(i * 10, 0, 2, 2) for i in range(4)]
+        groups = group_overlapping(boxes)
+        assert sorted(map(len, groups)) == [1, 1, 1, 1]
+
+    def test_transitive_chain_groups_together(self):
+        # a overlaps b, b overlaps c, a and c disjoint -> one group of 3.
+        a = BoundingBox(0, 0, 4, 4)
+        b = BoundingBox(0, 3, 4, 4)
+        c = BoundingBox(0, 6, 4, 4)
+        groups = group_overlapping([a, b, c], iou_threshold=0.05)
+        assert len(groups) == 1 and len(groups[0]) == 3
+
+    def test_threshold_controls_grouping(self):
+        a = BoundingBox(0, 0, 4, 4)
+        b = BoundingBox(0, 3, 4, 4)  # IoU = 4/28 ~ 0.14
+        assert len(group_overlapping([a, b], iou_threshold=0.05)) == 1
+        assert len(group_overlapping([a, b], iou_threshold=0.2)) == 2
+
+    def test_empty_input(self):
+        assert group_overlapping([]) == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            group_overlapping([], iou_threshold=1.0)
+
+    def test_indices_partition_input(self):
+        rng = np.random.default_rng(3)
+        boxes = [
+            BoundingBox(rng.uniform(0, 20), rng.uniform(0, 20), 3, 3)
+            for _ in range(12)
+        ]
+        groups = group_overlapping(boxes)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(12))
+
+
+class TestCombine:
+    def test_single_box_passthrough(self):
+        b = BoundingBox(1, 2, 3, 4)
+        assert combine_boxes([b]) is b
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            combine_boxes([])
+
+    def test_average(self):
+        a = BoundingBox(0, 0, 4, 4)
+        b = BoundingBox(2, 2, 4, 4)
+        avg = combine_boxes([a, b], "average")
+        assert (avg.y, avg.x) == (1, 1)
+        assert (avg.height, avg.width) == (4, 4)
+
+    def test_union_covers_all(self):
+        a = BoundingBox(0, 0, 2, 2)
+        b = BoundingBox(3, 3, 2, 2)
+        u = combine_boxes([a, b], "union")
+        assert u.y == 0 and u.x == 0 and u.y2 == 5 and u.x2 == 5
+
+    def test_intersection_of_overlapping(self):
+        a = BoundingBox(0, 0, 4, 4)
+        b = BoundingBox(2, 2, 4, 4)
+        inter = combine_boxes([a, b], "intersection")
+        assert (inter.y, inter.x, inter.height, inter.width) == (2, 2, 2, 2)
+
+    def test_intersection_disjoint_degrades_gracefully(self):
+        a = BoundingBox(0, 0, 2, 2)
+        b = BoundingBox(5, 5, 2, 2)
+        out = combine_boxes([a, b], "intersection")
+        assert out.height == 1.0 and out.width == 1.0
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown combine strategy"):
+            combine_boxes([BoundingBox(0, 0, 1, 1)] * 2, "median")
+
+    @given(st.lists(boxes_st, min_size=2, max_size=6))
+    def test_average_within_union_hull(self, boxes):
+        avg = combine_boxes(boxes, "average")
+        union = combine_boxes(boxes, "union")
+        assert avg.y >= union.y - 1e-9
+        assert avg.x >= union.x - 1e-9
+        assert avg.y2 <= union.y2 + 1e-9
+        assert avg.x2 <= union.x2 + 1e-9
+
+    @given(st.lists(boxes_st, min_size=2, max_size=6))
+    def test_union_area_at_least_max_member(self, boxes):
+        union = combine_boxes(boxes, "union")
+        assert union.area >= max(b.area for b in boxes) - 1e-9

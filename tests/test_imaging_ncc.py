@@ -1,0 +1,104 @@
+"""Tests for NCC matching — the paper's FGF formula."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.ncc import match_pattern, ncc_map
+
+settings.register_profile("repro", max_examples=20, deadline=None)
+settings.load_profile("repro")
+
+
+def _plant(image: np.ndarray, pattern: np.ndarray, y: int, x: int) -> np.ndarray:
+    out = image.copy()
+    out[y : y + pattern.shape[0], x : x + pattern.shape[1]] = pattern
+    return out
+
+
+class TestNccMap:
+    def test_response_shape(self, rng):
+        image = rng.random((20, 30))
+        pattern = rng.random((5, 7))
+        assert ncc_map(image, pattern).shape == (16, 24)
+
+    def test_pattern_larger_raises(self, rng):
+        with pytest.raises(ValueError, match="larger than image"):
+            ncc_map(rng.random((4, 4)), rng.random((5, 5)))
+
+    def test_scores_bounded(self, rng):
+        resp = ncc_map(rng.random((25, 25)), rng.random((6, 6)))
+        assert resp.min() >= 0.0 and resp.max() <= 1.0
+
+    def test_planted_pattern_scores_one(self, rng):
+        image = rng.random((30, 30)) * 0.3
+        pattern = rng.random((7, 7)) + 0.2
+        image = _plant(image, pattern, 11, 4)
+        resp = ncc_map(image, pattern)
+        assert resp[11, 4] == pytest.approx(1.0, abs=1e-6)
+
+    def test_scale_invariance_of_ccorr(self, rng):
+        # TM_CCORR_NORMED is invariant to multiplying the window by c > 0.
+        image = rng.random((20, 20)) * 0.3
+        pattern = rng.random((5, 5)) * 0.4 + 0.1
+        image = _plant(image, pattern * 0.5, 8, 8)
+        resp = ncc_map(image, pattern)
+        assert resp[8, 8] == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_window_scores_zero(self):
+        image = np.zeros((12, 12))
+        pattern = np.ones((3, 3))
+        resp = ncc_map(image, pattern)
+        np.testing.assert_allclose(resp, 0.0)
+
+    def test_zero_mean_variant_bounds(self, rng):
+        resp = ncc_map(rng.random((20, 20)), rng.random((5, 5)), zero_mean=True)
+        assert resp.min() >= 0.0 and resp.max() <= 1.0
+
+    def test_zero_mean_penalizes_flat_background(self, rng):
+        pattern = np.zeros((5, 5))
+        pattern[2, :] = 1.0  # a bright line
+        flat = np.full((20, 20), 0.6)
+        lined = _plant(np.full((20, 20), 0.6) * 0.5, pattern, 7, 7)
+        flat_score = ncc_map(flat, pattern, zero_mean=True).max()
+        lined_score = ncc_map(lined, pattern, zero_mean=True).max()
+        assert lined_score > flat_score + 0.5
+
+    def test_zero_mean_flat_pattern_scores_zero(self, rng):
+        resp = ncc_map(rng.random((10, 10)), np.full((3, 3), 0.5), zero_mean=True)
+        np.testing.assert_allclose(resp, 0.0)
+
+
+class TestMatchPattern:
+    def test_finds_planted_location(self, rng):
+        image = rng.random((40, 50)) * 0.2
+        pattern = rng.random((8, 6)) * 0.5 + 0.4
+        image = _plant(image, pattern, 23, 31)
+        result = match_pattern(image, pattern)
+        assert (result.y, result.x) == (23, 31)
+        assert result.score == pytest.approx(1.0, abs=1e-6)
+
+    def test_self_match(self, rng):
+        image = rng.random((15, 15)) + 0.05
+        result = match_pattern(image, image)
+        assert (result.y, result.x) == (0, 0)
+        assert result.score == pytest.approx(1.0, abs=1e-9)
+
+    @given(y=st.integers(0, 20), x=st.integers(0, 20))
+    def test_translation_recovered(self, y, x):
+        rng = np.random.default_rng(y * 31 + x)
+        image = rng.random((30, 30)) * 0.1
+        pattern = rng.random((6, 6)) * 0.8 + 0.2
+        image = _plant(image, pattern, y, x)
+        result = match_pattern(image, pattern)
+        assert (result.y, result.x) == (y, x)
+
+    def test_zero_mean_match(self, rng):
+        image = rng.random((25, 25)) * 0.2 + 0.4
+        pattern = rng.random((5, 5))
+        image = _plant(image, pattern, 10, 3)
+        result = match_pattern(image, pattern, zero_mean=True)
+        assert (result.y, result.x) == (10, 3)

@@ -1,0 +1,246 @@
+"""Unit and property tests for the image-operation substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging import ops
+
+settings.register_profile("repro", max_examples=25, deadline=None)
+settings.load_profile("repro")
+
+
+def _random_image(rng: np.random.Generator, h: int = 12, w: int = 17) -> np.ndarray:
+    return rng.random((h, w))
+
+
+class TestAsImage:
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ops.as_image(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ops.as_image(np.zeros((0, 3)))
+
+    def test_coerces_dtype(self):
+        out = ops.as_image(np.zeros((2, 2), dtype=np.float32))
+        assert out.dtype == np.float64
+
+
+class TestResize:
+    def test_identity_shape(self, rng):
+        img = _random_image(rng)
+        out = ops.resize(img, img.shape)
+        assert out.shape == img.shape
+        np.testing.assert_allclose(out, img, atol=1e-9)
+
+    def test_upscale_downscale_shapes(self, rng):
+        img = _random_image(rng, 10, 14)
+        assert ops.resize(img, (20, 7)).shape == (20, 7)
+        assert ops.resize(img, (3, 50)).shape == (3, 50)
+
+    def test_constant_image_preserved(self):
+        img = np.full((9, 9), 0.37)
+        out = ops.resize(img, (4, 13))
+        np.testing.assert_allclose(out, 0.37, atol=1e-12)
+
+    def test_rejects_nonpositive_target(self, rng):
+        with pytest.raises(ValueError):
+            ops.resize(_random_image(rng), (0, 5))
+
+    @given(h=st.integers(2, 24), w=st.integers(2, 24),
+           th=st.integers(1, 30), tw=st.integers(1, 30))
+    def test_output_within_input_range(self, h, w, th, tw):
+        rng = np.random.default_rng(h * 100 + w)
+        img = rng.random((h, w))
+        out = ops.resize(img, (th, tw))
+        assert out.shape == (th, tw)
+        assert out.min() >= img.min() - 1e-9
+        assert out.max() <= img.max() + 1e-9
+
+
+class TestRotate:
+    def test_zero_rotation_is_identity(self, rng):
+        img = _random_image(rng)
+        np.testing.assert_allclose(ops.rotate(img, 0.0), img, atol=1e-9)
+
+    def test_360_rotation_is_identity(self, rng):
+        img = _random_image(rng)
+        np.testing.assert_allclose(ops.rotate(img, 360.0), img, atol=1e-6)
+
+    def test_180_twice_matches_identity(self, rng):
+        img = _random_image(rng, 9, 9)
+        out = ops.rotate(ops.rotate(img, 180.0), 180.0)
+        np.testing.assert_allclose(out, img, atol=1e-6)
+
+    def test_90_rotation_moves_corner_mass(self):
+        img = np.zeros((11, 11))
+        img[1, 1] = 1.0
+        out = ops.rotate(img, 90.0)
+        # Counter-clockwise: top-left mass moves to bottom-left region.
+        assert out[9, 1] > 0.5
+
+    def test_fill_value_used(self):
+        img = np.ones((8, 8))
+        out = ops.rotate(img, 45.0, fill=0.0)
+        assert out.min() < 0.5  # corners exposed
+
+
+class TestShearTranslate:
+    def test_zero_shear_identity(self, rng):
+        img = _random_image(rng)
+        np.testing.assert_allclose(ops.shear_x(img, 0.0), img, atol=1e-9)
+        np.testing.assert_allclose(ops.shear_y(img, 0.0), img, atol=1e-9)
+
+    def test_translate_roundtrip(self, rng):
+        img = _random_image(rng, 10, 10)
+        out = ops.translate(ops.translate(img, 2, 3), -2, -3)
+        np.testing.assert_allclose(out[3:-3, 3:-3], img[3:-3, 3:-3], atol=1e-9)
+
+    def test_translate_shifts_peak(self):
+        img = np.zeros((9, 9))
+        img[4, 4] = 1.0
+        out = ops.translate(img, 2, -1)
+        assert out[6, 3] == pytest.approx(1.0)
+
+
+class TestFlips:
+    def test_horizontal_involution(self, rng):
+        img = _random_image(rng)
+        np.testing.assert_array_equal(
+            ops.flip_horizontal(ops.flip_horizontal(img)), img
+        )
+
+    def test_vertical_involution(self, rng):
+        img = _random_image(rng)
+        np.testing.assert_array_equal(
+            ops.flip_vertical(ops.flip_vertical(img)), img
+        )
+
+    def test_flip_actually_mirrors(self):
+        img = np.arange(6, dtype=float).reshape(2, 3)
+        assert ops.flip_horizontal(img)[0, 0] == 2
+        assert ops.flip_vertical(img)[0, 0] == 3
+
+
+class TestCropPad:
+    def test_crop_basic(self, rng):
+        img = _random_image(rng, 10, 10)
+        out = ops.crop(img, 2, 3, 4, 5)
+        np.testing.assert_array_equal(out, img[2:6, 3:8])
+
+    def test_crop_clips_to_bounds(self, rng):
+        img = _random_image(rng, 10, 10)
+        out = ops.crop(img, 8, 8, 10, 10)
+        assert out.shape == (2, 2)
+
+    def test_crop_outside_raises(self, rng):
+        with pytest.raises(ValueError, match="does not intersect"):
+            ops.crop(_random_image(rng, 5, 5), 10, 10, 3, 3)
+
+    def test_crop_rejects_nonpositive_size(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            ops.crop(_random_image(rng), 0, 0, 0, 3)
+
+    def test_pad_to_centers(self):
+        img = np.ones((2, 2))
+        out = ops.pad_to(img, (4, 4), fill=0.0)
+        assert out.shape == (4, 4)
+        assert out.sum() == pytest.approx(4.0)
+        assert out[1:3, 1:3].sum() == pytest.approx(4.0)
+
+    def test_pad_to_never_shrinks(self, rng):
+        img = _random_image(rng, 6, 9)
+        out = ops.pad_to(img, (3, 3))
+        assert out.shape == (6, 9)
+
+
+class TestDownsample:
+    def test_factor_one_copies(self, rng):
+        img = _random_image(rng)
+        out = ops.downsample(img, 1)
+        np.testing.assert_array_equal(out, img)
+        assert out is not img
+
+    def test_block_mean(self):
+        img = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert ops.downsample(img, 2)[0, 0] == pytest.approx(0.5)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError, match="too small"):
+            ops.downsample(np.ones((3, 3)), 4)
+
+    def test_invalid_factor(self, rng):
+        with pytest.raises(ValueError):
+            ops.downsample(_random_image(rng), 0)
+
+    @given(factor=st.integers(1, 4))
+    def test_mean_preserved_on_divisible_shapes(self, factor):
+        rng = np.random.default_rng(factor)
+        img = rng.random((8 * factor, 8 * factor))
+        out = ops.downsample(img, factor)
+        assert out.mean() == pytest.approx(img.mean(), abs=1e-9)
+
+
+class TestPhotometric:
+    def test_brightness_scales(self):
+        img = np.full((3, 3), 0.4)
+        np.testing.assert_allclose(ops.adjust_brightness(img, 2.0), 0.8)
+
+    def test_brightness_clips(self):
+        img = np.full((3, 3), 0.8)
+        np.testing.assert_allclose(ops.adjust_brightness(img, 2.0), 1.0)
+
+    def test_contrast_fixes_mean(self, rng):
+        img = _random_image(rng)
+        out = ops.adjust_contrast(img, 1.3)
+        assert out.mean() == pytest.approx(img.mean(), abs=0.05)
+
+    def test_contrast_zero_flattens(self, rng):
+        img = _random_image(rng)
+        out = ops.adjust_contrast(img, 0.0)
+        np.testing.assert_allclose(out, img.mean(), atol=1e-9)
+
+    def test_invert_involution(self, rng):
+        img = _random_image(rng)
+        np.testing.assert_allclose(ops.invert(ops.invert(img)), img, atol=1e-12)
+
+    def test_gaussian_noise_zero_sigma(self, rng):
+        img = _random_image(rng)
+        np.testing.assert_array_equal(ops.gaussian_noise(img, 0.0, rng), img)
+
+    def test_gaussian_noise_bounded(self, rng):
+        img = _random_image(rng)
+        out = ops.gaussian_noise(img, 0.5, rng)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_gaussian_noise_negative_sigma_raises(self, rng):
+        with pytest.raises(ValueError):
+            ops.gaussian_noise(_random_image(rng), -0.1, rng)
+
+    @given(factor=st.floats(0.1, 3.0))
+    def test_brightness_stays_in_bounds(self, factor):
+        rng = np.random.default_rng(42)
+        img = rng.random((5, 5))
+        out = ops.adjust_brightness(img, factor)
+        assert 0.0 <= out.min() and out.max() <= 1.0
+
+
+class TestAffine:
+    def test_identity_matrix(self, rng):
+        img = _random_image(rng)
+        eye = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        np.testing.assert_allclose(ops.affine_transform(img, eye), img, atol=1e-12)
+
+    def test_bad_matrix_shape(self, rng):
+        with pytest.raises(ValueError, match="2x3"):
+            ops.affine_transform(_random_image(rng), np.eye(3))
+
+    def test_output_shape_override(self, rng):
+        img = _random_image(rng)
+        eye = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        assert ops.affine_transform(img, eye, output_shape=(4, 6)).shape == (4, 6)

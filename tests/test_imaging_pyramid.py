@@ -1,0 +1,113 @@
+"""Tests for coarse-to-fine pyramid matching.
+
+Note: block-mean downsampling decorrelates *high-frequency* patterns that are
+misaligned with the coarse grid, so candidate selection is only reliable for
+band-limited content.  Real defect patterns are smooth (blurred lines/blobs),
+which is the regime these tests exercise; an adversarial white-noise pattern
+only guarantees the score-upper-bound property, tested separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.imaging.ncc import match_pattern
+from repro.imaging.pyramid import PyramidMatcher, pyramid_match
+
+
+def _smooth_scene(seed: int, offset: tuple[int, int],
+                  image_shape=(60, 80), pattern_shape=(12, 12)):
+    """A smooth background with a distinctive smooth pattern planted."""
+    rng = np.random.default_rng(seed)
+    image = ndimage.gaussian_filter(rng.random(image_shape), 2)
+    image = 0.4 + 0.1 * (image - image.mean()) / image.std()
+    pattern = ndimage.gaussian_filter(rng.random(pattern_shape), 1.5)
+    pattern = np.clip(0.5 + 0.3 * (pattern - pattern.mean()) / pattern.std(), 0, 1)
+    y, x = offset
+    img = image.copy()
+    img[y : y + pattern_shape[0], x : x + pattern_shape[1]] = pattern
+    return img, pattern
+
+
+class TestPyramidMatch:
+    @pytest.mark.parametrize("offset", [(33, 47), (32, 46), (17, 5), (0, 0)])
+    @pytest.mark.parametrize("factor", [2, 4])
+    def test_finds_planted_smooth_pattern(self, offset, factor):
+        image, pattern = _smooth_scene(7, offset)
+        result = pyramid_match(image, pattern, factor=factor)
+        assert (result.y, result.x) == offset
+        assert result.score == pytest.approx(1.0, abs=1e-6)
+
+    def test_agrees_with_exact(self):
+        image, pattern = _smooth_scene(3, (21, 40))
+        exact = match_pattern(image, pattern)
+        fast = pyramid_match(image, pattern, factor=2)
+        assert (fast.y, fast.x) == (exact.y, exact.x)
+        assert fast.score == pytest.approx(exact.score, abs=1e-9)
+
+    def test_small_pattern_falls_back_to_exact(self, rng):
+        image = rng.random((30, 30)) * 0.2
+        pattern = rng.random((4, 4)) * 0.7 + 0.2  # too small for factor 4
+        image[5:9, 9:13] = pattern
+        fast = pyramid_match(image, pattern, factor=4)
+        exact = match_pattern(image, pattern)
+        assert (fast.y, fast.x) == (exact.y, exact.x)
+
+    def test_factor_one_is_exact(self, rng):
+        image = rng.random((20, 20))
+        pattern = rng.random((5, 5))
+        assert pyramid_match(image, pattern, factor=1) == match_pattern(
+            image, pattern
+        )
+
+    def test_invalid_args(self, rng):
+        img, pat = rng.random((20, 20)), rng.random((5, 5))
+        with pytest.raises(ValueError):
+            pyramid_match(img, pat, factor=0)
+        with pytest.raises(ValueError):
+            pyramid_match(img, pat, candidates=0)
+
+    def test_score_never_above_exact(self):
+        # Even on adversarial white-noise content, the pyramid's score is a
+        # lower bound on the exhaustive score (it explores fewer positions).
+        for seed in range(6):
+            r = np.random.default_rng(seed)
+            image = r.random((50, 60))
+            pattern = r.random((8, 10))
+            fast = pyramid_match(image, pattern, factor=2, candidates=2)
+            exact = match_pattern(image, pattern)
+            assert fast.score <= exact.score + 1e-9
+
+    def test_more_candidates_never_hurt(self, rng):
+        image = rng.random((60, 60))
+        pattern = rng.random((9, 9))
+        s2 = pyramid_match(image, pattern, factor=2, candidates=2).score
+        s5 = pyramid_match(image, pattern, factor=2, candidates=5).score
+        assert s5 >= s2 - 1e-12
+
+    def test_wider_margin_never_hurts(self):
+        image, pattern = _smooth_scene(11, (25, 30))
+        s_small = pyramid_match(image, pattern, factor=4, margin=2).score
+        s_large = pyramid_match(image, pattern, factor=4, margin=8).score
+        assert s_large >= s_small - 1e-12
+
+
+class TestPyramidMatcher:
+    def test_disabled_matches_exact(self, rng):
+        image = rng.random((25, 25))
+        pattern = rng.random((6, 6))
+        matcher = PyramidMatcher(enabled=False)
+        assert matcher(image, pattern) == match_pattern(image, pattern)
+
+    def test_zero_mean_passthrough(self):
+        image, pattern = _smooth_scene(5, (4, 20))
+        matcher = PyramidMatcher(factor=2, zero_mean=True)
+        result = matcher(image, pattern)
+        assert (result.y, result.x) == (4, 20)
+
+    def test_callable_with_defaults(self, rng):
+        matcher = PyramidMatcher()
+        result = matcher(rng.random((40, 40)), rng.random((10, 10)))
+        assert 0.0 <= result.score <= 1.0

@@ -1,0 +1,119 @@
+"""End-to-end integration tests across the full system.
+
+These exercise realistic (but tiny) versions of the paper's workflows:
+binary and multi-class pipelines, augmentation paths, baseline parity on
+shared primitives, and whole-run determinism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InspectorGadget, InspectorGadgetConfig, f1_score, make_dataset
+from repro.augment import AugmentConfig, PolicySearchConfig, RGANConfig
+from repro.baselines import Snuba, SnubaConfig
+from repro.crowd import WorkflowConfig
+from repro.datasets import NEUConfig, make_neu
+from repro.features import FeatureGenerator
+
+
+def _light_config(seed=0, mode="none"):
+    return InspectorGadgetConfig(
+        workflow=WorkflowConfig(target_defective=4),
+        augment=AugmentConfig(
+            mode=mode, n_policy=4, n_gan=4,
+            policy_search=PolicySearchConfig(max_combos=1,
+                                             per_pattern_augment=1,
+                                             labeler_max_iter=15,
+                                             n_magnitudes=2),
+            rgan=RGANConfig(epochs=5, z_dim=8, hidden=(16,), side_cap=8),
+        ),
+        tune=False,
+        labeler_max_iter=40,
+        seed=seed,
+    )
+
+
+class TestBinaryPipelines:
+    @pytest.mark.parametrize("name", ["product_scratch", "product_bubble"])
+    def test_product_variants_end_to_end(self, name):
+        dataset = make_dataset(name, scale=0.1, seed=3, n_images=50)
+        ig = InspectorGadget(_light_config(seed=1))
+        report = ig.fit(dataset)
+        assert report.n_crowd_patterns > 0
+        rest = dataset.subset(
+            [i for i in range(len(dataset))
+             if i not in set(ig.crowd_result.dev_indices)]
+        )
+        weak = ig.predict(rest)
+        assert len(weak) == len(rest)
+        assert set(np.unique(weak.labels)) <= {0, 1}
+        # Not a degenerate labeler: both classes predicted OR accuracy high.
+        acc = (weak.labels == rest.labels).mean()
+        assert len(set(weak.labels.tolist())) == 2 or acc > 0.5
+
+    def test_augmented_pipeline_stays_valid(self):
+        dataset = make_dataset("ksdd", scale=0.08, seed=5, n_images=40)
+        ig = InspectorGadget(_light_config(seed=2, mode="both"))
+        report = ig.fit(dataset)
+        assert report.n_total_patterns > report.n_crowd_patterns
+        weak = ig.predict(dataset.subset([0, 1, 2]))
+        np.testing.assert_allclose(weak.probs.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestMulticlassPipeline:
+    def test_neu_end_to_end(self):
+        dataset = make_neu(NEUConfig(per_class=6, scale=0.16), seed=4)
+        ig = InspectorGadget(_light_config(seed=3))
+        report = ig.fit(dataset, dev_budget=18)
+        assert report.dev_size == 18
+        rest = dataset.subset(
+            [i for i in range(len(dataset))
+             if i not in set(ig.crowd_result.dev_indices)]
+        )
+        weak = ig.predict(rest)
+        assert weak.n_classes == 6
+        macro = f1_score(rest.labels, weak.labels, task="multiclass")
+        # Better than random guessing over 6 classes.
+        assert macro > 1.0 / 6.0 - 0.05
+
+
+class TestSharedPrimitives:
+    def test_snuba_and_ig_share_features(self, tiny_ksdd, ksdd_crowd):
+        """Both methods consume identical FGF features, as in Section 6.1."""
+        fg = FeatureGenerator(ksdd_crowd.patterns)
+        x_dev = fg.transform(ksdd_crowd.dev).values
+        rest = tiny_ksdd.subset(
+            [i for i in range(len(tiny_ksdd))
+             if i not in set(ksdd_crowd.dev_indices)]
+        )
+        x_rest = fg.transform(rest).values
+        snuba = Snuba(SnubaConfig(max_heuristics=4))
+        snuba.fit(x_dev, ksdd_crowd.dev.labels)
+        pred = snuba.predict(x_rest)
+        assert pred.shape == (len(rest),)
+        # Snuba's heuristics reference valid feature columns.
+        for h in snuba.heuristics:
+            assert all(0 <= f < x_dev.shape[1] for f in h.features)
+
+
+class TestDeterminism:
+    def test_full_run_reproducible(self):
+        def run():
+            dataset = make_dataset("ksdd", scale=0.08, seed=9, n_images=36)
+            ig = InspectorGadget(_light_config(seed=4, mode="gan"))
+            ig.fit(dataset)
+            return ig.predict(dataset.subset([0, 1, 2, 3, 4])).probs
+
+        np.testing.assert_allclose(run(), run())
+
+    def test_different_pipeline_seeds_differ(self):
+        dataset = make_dataset("ksdd", scale=0.08, seed=9, n_images=36)
+
+        def run(seed):
+            ig = InspectorGadget(_light_config(seed=seed))
+            ig.fit(dataset)
+            return ig.crowd_result.dev_indices
+
+        assert run(1) != run(2)

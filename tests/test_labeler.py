@@ -1,0 +1,201 @@
+"""Tests for the MLP labeler, model tuning and weak-label containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labeler import (
+    MLPLabeler,
+    WeakLabels,
+    candidate_architectures,
+    candidate_widths,
+    kfold_indices,
+    tune_labeler,
+)
+from repro.labeler.tuning import choose_n_folds
+
+settings.register_profile("repro", max_examples=15, deadline=None)
+settings.load_profile("repro")
+
+
+def _separable_binary(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(int)
+    return x, y
+
+
+def _separable_multiclass(n=90, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    y = (x[:, 0] > 0).astype(int) + 2 * (x[:, 1] > 0).astype(int)
+    return x, y
+
+
+class TestMLPLabeler:
+    def test_learns_binary(self):
+        x, y = _separable_binary()
+        labeler = MLPLabeler(input_dim=4, hidden=(8,), seed=0, max_iter=150)
+        labeler.fit(x, y)
+        assert (labeler.predict(x) == y).mean() > 0.9
+
+    def test_learns_multiclass(self):
+        x, y = _separable_multiclass()
+        labeler = MLPLabeler(input_dim=3, hidden=(16,), n_classes=4, seed=0,
+                             max_iter=200)
+        labeler.fit(x, y)
+        assert (labeler.predict(x) == y).mean() > 0.85
+
+    def test_proba_rows_sum_one(self):
+        x, y = _separable_binary(30)
+        labeler = MLPLabeler(input_dim=4, seed=0, max_iter=50)
+        labeler.fit(x, y)
+        probs = labeler.predict_proba(x)
+        assert probs.shape == (30, 2)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            MLPLabeler(input_dim=0)
+        with pytest.raises(ValueError):
+            MLPLabeler(input_dim=4, n_classes=1)
+        with pytest.raises(ValueError):
+            MLPLabeler(input_dim=4, hidden=())
+        with pytest.raises(ValueError):
+            MLPLabeler(input_dim=4, hidden=(0,))
+
+    def test_wrong_feature_dim_raises(self):
+        labeler = MLPLabeler(input_dim=4, seed=0)
+        with pytest.raises(ValueError):
+            labeler.fit(np.zeros((5, 3)), np.zeros(5, dtype=int))
+
+    def test_out_of_range_labels_raise(self):
+        labeler = MLPLabeler(input_dim=2, seed=0)
+        with pytest.raises(ValueError):
+            labeler.fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_predict_before_fit_raises(self):
+        labeler = MLPLabeler(input_dim=2, seed=0)
+        with pytest.raises(RuntimeError):
+            labeler.predict(np.zeros((1, 2)))
+
+    def test_validation_split_used(self):
+        x, y = _separable_binary(50)
+        labeler = MLPLabeler(input_dim=4, seed=0, max_iter=100)
+        result = labeler.fit(x[:40], y[:40], x[40:], y[40:])
+        assert result.best_val_loss is not None
+
+    def test_constant_feature_handled(self):
+        x = np.zeros((20, 3))
+        x[:, 0] = np.linspace(-1, 1, 20)
+        y = (x[:, 0] > 0).astype(int)
+        labeler = MLPLabeler(input_dim=3, seed=0, max_iter=80)
+        labeler.fit(x, y)  # must not divide by zero on constant columns
+        assert (labeler.predict(x) == y).mean() > 0.9
+
+
+class TestTuningGrid:
+    def test_candidate_widths_power_of_two(self):
+        assert candidate_widths(10) == [2, 4, 8, 16]
+        assert candidate_widths(16) == [2, 4, 8, 16]
+        assert candidate_widths(2) == [2]
+
+    def test_candidate_widths_invalid(self):
+        with pytest.raises(ValueError):
+            candidate_widths(0)
+
+    def test_architectures_depth_range(self):
+        archs = candidate_architectures(8, max_layers=3)
+        depths = {len(a) for a in archs}
+        assert depths == {1, 2, 3}
+        # Uniform widths per architecture.
+        assert all(len(set(a)) == 1 for a in archs)
+
+    def test_architectures_count(self):
+        widths = candidate_widths(12)
+        archs = candidate_architectures(12, max_layers=2)
+        assert len(archs) == 2 * len(widths)
+
+    @given(input_dim=st.integers(2, 200))
+    def test_max_width_bounds_input_dim(self, input_dim):
+        widths = candidate_widths(input_dim)
+        assert widths[-1] >= input_dim
+        assert widths[-1] < 2 * max(input_dim, 2)
+
+
+class TestKFold:
+    def test_folds_partition(self):
+        labels = np.array([0] * 20 + [1] * 10)
+        folds = kfold_indices(labels, 5, seed=0)
+        assert len(folds) == 5
+        all_val = np.concatenate([v for _, v in folds])
+        assert sorted(all_val.tolist()) == list(range(30))
+
+    def test_stratification(self):
+        labels = np.array([0] * 40 + [1] * 10)
+        for train, val in kfold_indices(labels, 5, seed=0):
+            assert (labels[val] == 1).sum() == 2
+
+    def test_train_val_disjoint(self):
+        labels = np.array([0, 1] * 10)
+        for train, val in kfold_indices(labels, 4, seed=1):
+            assert not set(train) & set(val)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kfold_indices(np.zeros(10, dtype=int), 1)
+
+    def test_choose_n_folds(self):
+        assert choose_n_folds(np.array([0] * 100 + [1] * 100)) == 5
+        assert choose_n_folds(np.array([0] * 100 + [1] * 45)) == 2
+        assert choose_n_folds(np.array([0] * 100 + [1] * 60)) == 3
+
+
+class TestTuneLabeler:
+    def test_selects_and_trains(self):
+        x, y = _separable_binary(80, seed=3)
+        result = tune_labeler(x, y, seed=0, max_iter=60, min_per_class=5,
+                              architectures=[(2,), (8,)])
+        assert result.best_hidden in {(2,), (8,)}
+        assert set(result.scores) == {(2,), (8,)}
+        assert result.labeler is not None
+        assert (result.labeler.predict(x) == y).mean() > 0.85
+
+    def test_multiclass_tuning(self):
+        x, y = _separable_multiclass(120, seed=1)
+        result = tune_labeler(x, y, n_classes=4, task="multiclass", seed=0,
+                              max_iter=60, min_per_class=5,
+                              architectures=[(8,)])
+        assert result.best_hidden == (8,)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            tune_labeler(np.zeros((4, 2)), np.zeros(5, dtype=int))
+
+    def test_scores_are_probabilistic_f1(self):
+        x, y = _separable_binary(60, seed=2)
+        result = tune_labeler(x, y, seed=0, max_iter=40, min_per_class=5,
+                              architectures=[(4,)])
+        assert 0.0 <= result.best_score <= 1.0
+
+
+class TestWeakLabels:
+    def test_basic_properties(self):
+        probs = np.array([[0.9, 0.1], [0.3, 0.7], [0.5, 0.5]])
+        weak = WeakLabels(probs=probs)
+        np.testing.assert_array_equal(weak.labels, [0, 1, 0])
+        np.testing.assert_allclose(weak.confidence, [0.9, 0.7, 0.5])
+        assert len(weak) == 3 and weak.n_classes == 2
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WeakLabels(probs=np.array([[0.5, 0.6]]))
+
+    def test_filter_confident(self):
+        weak = WeakLabels(probs=np.array([[0.95, 0.05], [0.6, 0.4]]))
+        np.testing.assert_array_equal(weak.filter_confident(0.9), [0])
+        with pytest.raises(ValueError):
+            weak.filter_confident(1.5)

@@ -1,0 +1,69 @@
+"""Remaining API-contract tests: public exports, MatchResult, Sequential."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.imaging.ncc import MatchResult
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import Sequential
+
+
+class TestPublicAPI:
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_dataset_names_tuple(self):
+        assert "ksdd" in repro.DATASET_NAMES
+        assert len(repro.DATASET_NAMES) == 5
+
+    @pytest.mark.parametrize("module", [
+        "repro.core", "repro.crowd", "repro.augment", "repro.features",
+        "repro.labeler", "repro.imaging", "repro.nn", "repro.datasets",
+        "repro.baselines", "repro.eval", "repro.utils",
+    ])
+    def test_subpackage_alls_resolve(self, module):
+        import importlib
+
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert getattr(mod, name) is not None, f"{module}.{name}"
+
+
+class TestMatchResult:
+    def test_equality_and_immutability(self):
+        a = MatchResult(score=0.5, y=1, x=2)
+        b = MatchResult(score=0.5, y=1, x=2)
+        assert a == b
+        with pytest.raises(AttributeError):
+            a.score = 0.9  # type: ignore[misc]
+
+
+class TestSequentialComposition:
+    def test_append_grows_stack(self, rng):
+        net = Sequential(Dense(3, 4, rng=0))
+        net.append(ReLU())
+        net.append(Dense(4, 2, rng=1))
+        out = net.forward(rng.normal(size=(2, 3)))
+        assert out.shape == (2, 2)
+
+    def test_empty_sequential_identity(self, rng):
+        net = Sequential()
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_array_equal(net.forward(x), x)
+        assert net.num_params() == 0
+        assert net.get_flat_params().size == 0
+
+    def test_set_training_propagates(self):
+        net = Sequential(Dense(2, 2, rng=0), ReLU())
+        net.set_training(False)
+        assert all(not layer.training for layer in net.layers)
+        net.set_training(True)
+        assert all(layer.training for layer in net.layers)

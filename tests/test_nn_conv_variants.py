@@ -1,0 +1,87 @@
+"""Extra convolution-layer coverage: shape algebra and parameter counts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import Conv2d, MaxPool2d
+from repro.nn.network import Sequential
+
+settings.register_profile("repro", max_examples=15, deadline=None)
+settings.load_profile("repro")
+
+
+class TestConvShapeAlgebra:
+    @given(
+        h=st.integers(4, 12),
+        w=st.integers(4, 12),
+        k=st.sampled_from([1, 3, 5]),
+        stride=st.integers(1, 2),
+    )
+    def test_output_shape_formula(self, h, w, k, stride):
+        pad = k // 2
+        layer = Conv2d(1, 2, kernel_size=k, stride=stride, padding=pad, rng=0)
+        out = layer.forward(np.zeros((1, 1, h, w)))
+        expected_h = (h + 2 * pad - k) // stride + 1
+        expected_w = (w + 2 * pad - k) // stride + 1
+        assert out.shape == (1, 2, expected_h, expected_w)
+
+    @given(cin=st.sampled_from([2, 4]), cout=st.sampled_from([2, 4, 8]))
+    def test_parameter_count(self, cin, cout):
+        layer = Conv2d(cin, cout, kernel_size=3, rng=0)
+        n_params = sum(p.size for p in layer.params())
+        assert n_params == cout * cin * 9 + cout
+
+    def test_depthwise_parameter_savings(self):
+        full = Conv2d(8, 8, kernel_size=3, rng=0)
+        depthwise = Conv2d(8, 8, kernel_size=3, groups=8, rng=0)
+        full_params = sum(p.size for p in full.params())
+        dw_params = sum(p.size for p in depthwise.params())
+        assert dw_params < full_params / 4
+
+    def test_grouped_channels_do_not_mix(self):
+        layer = Conv2d(2, 2, kernel_size=1, padding=0, groups=2, rng=0)
+        layer.weight[...] = 1.0
+        layer.bias[...] = 0.0
+        x = np.zeros((1, 2, 3, 3))
+        x[0, 0] = 5.0  # only group 0 carries signal
+        out = layer.forward(x)
+        assert out[0, 0].max() == pytest.approx(5.0)
+        assert out[0, 1].max() == pytest.approx(0.0)
+
+    def test_linearity(self, rng):
+        layer = Conv2d(1, 2, kernel_size=3, rng=0)
+        a = rng.normal(size=(1, 1, 6, 6))
+        b = rng.normal(size=(1, 1, 6, 6))
+        layer.bias[...] = 0.0
+        out_sum = layer.forward(a + b)
+        np.testing.assert_allclose(
+            out_sum, layer.forward(a) + layer.forward(b), atol=1e-10
+        )
+
+
+class TestConvPoolStacks:
+    @given(depth=st.integers(1, 3))
+    def test_stacked_pooling_shape(self, depth):
+        layers = []
+        for _ in range(depth):
+            layers += [Conv2d(1 if not layers else 2, 2, 3, padding=1, rng=0),
+                       MaxPool2d(2)]
+        net = Sequential(*layers)
+        side = 2**depth * 3
+        out = net.forward(np.zeros((1, 1, side, side)))
+        assert out.shape[2] == 3 and out.shape[3] == 3
+
+    def test_gradient_shape_through_stack(self, rng):
+        net = Sequential(
+            Conv2d(1, 2, 3, padding=1, rng=0), MaxPool2d(2),
+            Conv2d(2, 4, 3, padding=1, rng=1), MaxPool2d(2),
+        )
+        x = rng.normal(size=(2, 1, 8, 8))
+        out = net.forward(x)
+        net.zero_grad()
+        grad = net.backward(np.ones_like(out))
+        assert grad.shape == x.shape

@@ -1,0 +1,286 @@
+"""Gradient checks: every layer's backward pass vs central finite differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    LeakyReLU,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.network import Sequential
+
+EPS = 1e-6
+
+
+def numeric_grad_input(layer, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    """Central-difference gradient of sum(forward(x) * grad_out) w.r.t. x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        plus = float((layer.forward(x) * grad_out).sum())
+        flat[i] = orig - EPS
+        minus = float((layer.forward(x) * grad_out).sum())
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * EPS)
+    return grad
+
+
+def numeric_grad_params(layer, x: np.ndarray, grad_out: np.ndarray) -> list[np.ndarray]:
+    grads = []
+    for p in layer.params():
+        g = np.zeros_like(p)
+        flat = p.ravel()
+        gflat = g.ravel()
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + EPS
+            plus = float((layer.forward(x) * grad_out).sum())
+            flat[i] = orig - EPS
+            minus = float((layer.forward(x) * grad_out).sum())
+            flat[i] = orig
+            gflat[i] = (plus - minus) / (2 * EPS)
+        grads.append(g)
+    return grads
+
+
+def check_layer_gradients(layer, x: np.ndarray, atol: float = 1e-5) -> None:
+    rng = np.random.default_rng(0)
+    out = layer.forward(x)
+    grad_out = rng.normal(size=out.shape)
+    layer.zero_grad()
+    grad_in = layer.backward(grad_out)
+    num_in = numeric_grad_input(layer, x, grad_out)
+    np.testing.assert_allclose(grad_in, num_in, atol=atol, rtol=1e-4)
+    if layer.params():
+        layer.zero_grad()
+        layer.forward(x)
+        layer.backward(grad_out)
+        analytic = [g.copy() for g in layer.grads()]
+        numeric = numeric_grad_params(layer, x, grad_out)
+        for a, n in zip(analytic, numeric):
+            np.testing.assert_allclose(a, n, atol=atol, rtol=1e-4)
+
+
+class TestDense:
+    def test_gradients(self, rng):
+        layer = Dense(4, 3, rng=0)
+        check_layer_gradients(layer, rng.normal(size=(5, 4)))
+
+    def test_forward_value(self):
+        layer = Dense(2, 2, rng=0)
+        layer.weight[...] = np.array([[1.0, 2.0], [3.0, 4.0]])
+        layer.bias[...] = np.array([0.5, -0.5])
+        out = layer.forward(np.array([[1.0, 1.0]]))
+        np.testing.assert_allclose(out, [[4.5, 5.5]])
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+    def test_init_schemes(self):
+        assert Dense(4, 2, rng=0, init="xavier").weight.shape == (4, 2)
+        with pytest.raises(ValueError):
+            Dense(4, 2, init="bad")
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2, rng=0).backward(np.zeros((1, 2)))
+
+    def test_grad_accumulation(self, rng):
+        layer = Dense(3, 2, rng=0)
+        x = rng.normal(size=(4, 3))
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        first = layer.grad_weight.copy()
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        np.testing.assert_allclose(layer.grad_weight, 2 * first)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [ReLU, Sigmoid, Tanh])
+    def test_gradients(self, layer_cls, rng):
+        check_layer_gradients(layer_cls(), rng.normal(size=(4, 6)) + 0.1)
+
+    def test_leaky_relu_gradients(self, rng):
+        check_layer_gradients(LeakyReLU(0.2), rng.normal(size=(4, 6)) + 0.05)
+
+    def test_relu_values(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_leaky_negative_slope(self):
+        out = LeakyReLU(0.1).forward(np.array([[-2.0]]))
+        assert out[0, 0] == pytest.approx(-0.2)
+
+    def test_leaky_invalid_slope(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.1)
+
+    def test_sigmoid_extreme_inputs_stable(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(1.0, abs=1e-12)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        layer = Dropout(0.5, rng=0)
+        layer.set_training(False)
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_training_scales_expectation(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((200, 200))
+        out = layer.forward(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng=0)
+        x = rng.normal(size=(10, 10))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestConv2d:
+    def test_gradients_basic(self, rng):
+        layer = Conv2d(2, 3, kernel_size=3, padding=1, rng=0)
+        check_layer_gradients(layer, rng.normal(size=(2, 2, 5, 5)))
+
+    def test_gradients_no_padding(self, rng):
+        layer = Conv2d(1, 2, kernel_size=3, padding=0, rng=0)
+        check_layer_gradients(layer, rng.normal(size=(2, 1, 6, 6)))
+
+    def test_gradients_stride_two(self, rng):
+        layer = Conv2d(1, 2, kernel_size=3, stride=2, padding=1, rng=0)
+        check_layer_gradients(layer, rng.normal(size=(2, 1, 6, 6)))
+
+    def test_gradients_grouped(self, rng):
+        layer = Conv2d(4, 4, kernel_size=3, padding=1, groups=4, rng=0)
+        check_layer_gradients(layer, rng.normal(size=(2, 4, 4, 4)))
+
+    def test_gradients_1x1(self, rng):
+        layer = Conv2d(3, 2, kernel_size=1, padding=0, rng=0)
+        check_layer_gradients(layer, rng.normal(size=(2, 3, 4, 4)))
+
+    def test_output_shape_same_padding(self, rng):
+        layer = Conv2d(1, 4, kernel_size=3, padding=1, rng=0)
+        assert layer.forward(rng.normal(size=(3, 1, 8, 9))).shape == (3, 4, 8, 9)
+
+    def test_identity_kernel(self):
+        layer = Conv2d(1, 1, kernel_size=3, padding=1, rng=0)
+        layer.weight[...] = 0.0
+        layer.weight[0, 0, 1, 1] = 1.0
+        x = np.random.default_rng(0).normal(size=(1, 1, 5, 5))
+        np.testing.assert_allclose(layer.forward(x), x, atol=1e-12)
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 4, groups=2)
+
+    def test_wrong_channel_count_raises(self, rng):
+        layer = Conv2d(2, 2, rng=0)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(1, 3, 5, 5)))
+
+
+class TestPooling:
+    def test_maxpool_gradients(self, rng):
+        check_layer_gradients(MaxPool2d(2), rng.normal(size=(2, 2, 6, 6)))
+
+    def test_avgpool_gradients(self, rng):
+        check_layer_gradients(AvgPool2d(2), rng.normal(size=(2, 2, 6, 6)))
+
+    def test_gap_gradients(self, rng):
+        check_layer_gradients(GlobalAvgPool2d(), rng.normal(size=(2, 3, 4, 5)))
+
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2).forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avgpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = AvgPool2d(2).forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_maxpool_drops_ragged_edge(self, rng):
+        out = MaxPool2d(2).forward(rng.normal(size=(1, 1, 5, 7)))
+        assert out.shape == (1, 1, 2, 3)
+
+    def test_too_small_input_raises(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2d(4).forward(rng.normal(size=(1, 1, 2, 2)))
+
+    def test_gap_value(self):
+        x = np.ones((2, 3, 4, 4)) * np.arange(3).reshape(1, 3, 1, 1)
+        out = GlobalAvgPool2d().forward(x)
+        np.testing.assert_allclose(out, [[0, 1, 2], [0, 1, 2]])
+
+
+class TestBatchNorm:
+    def test_gradients_dense_training(self, rng):
+        check_layer_gradients(BatchNorm(4), rng.normal(size=(6, 4)), atol=1e-4)
+
+    def test_gradients_conv_training(self, rng):
+        check_layer_gradients(BatchNorm(2), rng.normal(size=(3, 2, 4, 4)), atol=1e-4)
+
+    def test_normalizes_training_batch(self, rng):
+        layer = BatchNorm(3)
+        out = layer.forward(rng.normal(2.0, 3.0, size=(50, 3)))
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = BatchNorm(2, momentum=0.5)
+        for _ in range(20):
+            layer.forward(rng.normal(1.0, 2.0, size=(40, 2)))
+        layer.set_training(False)
+        out = layer.forward(np.full((4, 2), 1.0))
+        np.testing.assert_allclose(out, 0.0, atol=0.3)
+
+    def test_rejects_3d_input(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm(2).forward(rng.normal(size=(2, 2, 2)))
+
+
+class TestFlattenAndSequential:
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(3, 2, 4, 5))
+        out = layer.forward(x)
+        assert out.shape == (3, 40)
+        assert layer.backward(out).shape == x.shape
+
+    def test_sequential_gradcheck(self, rng):
+        net = Sequential(Dense(4, 6, rng=0), Tanh(), Dense(6, 2, rng=1))
+        check_layer_gradients(net, rng.normal(size=(3, 4)))
+
+    def test_sequential_cnn_gradcheck(self, rng):
+        net = Sequential(
+            Conv2d(1, 2, 3, padding=1, rng=0), ReLU(), MaxPool2d(2),
+            Flatten(), Dense(2 * 2 * 2, 2, rng=1),
+        )
+        check_layer_gradients(net, rng.normal(size=(2, 1, 4, 4)))

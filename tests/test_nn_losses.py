@@ -1,0 +1,164 @@
+"""Tests for loss functions, including the RGAN objectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import (
+    BinaryCrossEntropyWithLogits,
+    SoftmaxCrossEntropy,
+    log_sigmoid,
+    rgan_discriminator_loss,
+    rgan_generator_loss,
+    sigmoid,
+    softmax,
+)
+
+EPS = 1e-6
+
+
+def check_grad(fn, z0: np.ndarray, analytic: np.ndarray, atol=1e-6):
+    """fn(z) -> scalar loss; compare its numeric gradient at z0."""
+    num = np.zeros_like(z0)
+    flat = z0.ravel()
+    nflat = num.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        plus = fn(z0)
+        flat[i] = orig - EPS
+        minus = fn(z0)
+        flat[i] = orig
+        nflat[i] = (plus - minus) / (2 * EPS)
+    np.testing.assert_allclose(analytic, num, atol=atol, rtol=1e-4)
+
+
+class TestPrimitives:
+    def test_sigmoid_range_and_symmetry(self, rng):
+        z = rng.normal(size=100) * 10
+        s = sigmoid(z)
+        assert (s > 0).all() and (s < 1).all()
+        np.testing.assert_allclose(s + sigmoid(-z), 1.0, atol=1e-12)
+
+    def test_log_sigmoid_matches_naive(self, rng):
+        z = rng.normal(size=50)
+        np.testing.assert_allclose(log_sigmoid(z), np.log(sigmoid(z)), atol=1e-10)
+
+    def test_log_sigmoid_no_overflow(self):
+        assert np.isfinite(log_sigmoid(np.array([-1e4, 1e4]))).all()
+
+    def test_softmax_rows_sum_one(self, rng):
+        p = softmax(rng.normal(size=(8, 5)) * 20)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+        assert (p >= 0).all()
+
+
+class TestBCE:
+    def test_known_value(self):
+        loss_fn = BinaryCrossEntropyWithLogits()
+        loss, _ = loss_fn(np.zeros(4), np.array([0, 1, 0, 1]))
+        assert loss == pytest.approx(np.log(2))
+
+    def test_gradient(self, rng):
+        loss_fn = BinaryCrossEntropyWithLogits()
+        z = rng.normal(size=(6, 1))
+        y = rng.integers(0, 2, size=6).astype(float)
+        _, grad = loss_fn(z, y)
+        check_grad(lambda zz: loss_fn(zz, y)[0], z, grad)
+
+    def test_perfect_prediction_low_loss(self):
+        loss_fn = BinaryCrossEntropyWithLogits()
+        loss, _ = loss_fn(np.array([-20.0, 20.0]), np.array([0.0, 1.0]))
+        assert loss < 1e-6
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BinaryCrossEntropyWithLogits()(np.zeros(3), np.zeros(4))
+
+    def test_class_weight_changes_gradient_balance(self, rng):
+        z = rng.normal(size=8)
+        y = np.array([0, 0, 0, 0, 0, 0, 1, 1], dtype=float)
+        _, g_plain = BinaryCrossEntropyWithLogits()(z, y)
+        weighted = BinaryCrossEntropyWithLogits(np.array([1.0, 5.0]))
+        _, g_weighted = weighted(z, y)
+        # Positive examples should carry relatively more gradient mass.
+        plain_ratio = np.abs(g_plain[y == 1]).sum() / np.abs(g_plain).sum()
+        weighted_ratio = np.abs(g_weighted[y == 1]).sum() / np.abs(g_weighted).sum()
+        assert weighted_ratio > plain_ratio
+
+    def test_class_weight_gradient_check(self, rng):
+        loss_fn = BinaryCrossEntropyWithLogits(np.array([1.0, 3.0]))
+        z = rng.normal(size=5)
+        y = np.array([0, 1, 1, 0, 1], dtype=float)
+        _, grad = loss_fn(z, y)
+        check_grad(lambda zz: loss_fn(zz, y)[0], z, grad)
+
+    def test_invalid_class_weight_shape(self):
+        with pytest.raises(ValueError):
+            BinaryCrossEntropyWithLogits(np.ones(3))
+
+
+class TestSoftmaxCE:
+    def test_known_value(self):
+        loss_fn = SoftmaxCrossEntropy()
+        loss, _ = loss_fn(np.zeros((2, 4)), np.array([0, 3]))
+        assert loss == pytest.approx(np.log(4))
+
+    def test_gradient(self, rng):
+        loss_fn = SoftmaxCrossEntropy()
+        z = rng.normal(size=(5, 3))
+        y = rng.integers(0, 3, size=5)
+        _, grad = loss_fn(z, y)
+        check_grad(lambda zz: loss_fn(zz, y)[0], z, grad)
+
+    def test_weighted_gradient(self, rng):
+        loss_fn = SoftmaxCrossEntropy(np.array([1.0, 2.0, 4.0]))
+        z = rng.normal(size=(6, 3))
+        y = rng.integers(0, 3, size=6)
+        _, grad = loss_fn(z, y)
+        check_grad(lambda zz: loss_fn(zz, y)[0], z, grad)
+
+    def test_out_of_range_target_raises(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy()(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_1d_logits_raise(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy()(np.zeros(3), np.array([0, 1, 2]))
+
+
+class TestRGANLosses:
+    def test_discriminator_loss_direction(self):
+        # Real scored higher than fake -> low loss; reversed -> high loss.
+        good, _, _ = rgan_discriminator_loss(np.array([5.0]), np.array([-5.0]))
+        bad, _, _ = rgan_discriminator_loss(np.array([-5.0]), np.array([5.0]))
+        assert good < 0.01 < bad
+
+    def test_generator_loss_direction(self):
+        good, _ = rgan_generator_loss(np.array([-5.0]), np.array([5.0]))
+        bad, _ = rgan_generator_loss(np.array([5.0]), np.array([-5.0]))
+        assert good < 0.01 < bad
+
+    def test_discriminator_gradients(self, rng):
+        dr = rng.normal(size=4)
+        df = rng.normal(size=4)
+        _, g_dr, g_df = rgan_discriminator_loss(dr, df)
+        check_grad(lambda z: rgan_discriminator_loss(z, df)[0], dr, g_dr)
+        check_grad(lambda z: rgan_discriminator_loss(dr, z)[0], df, g_df)
+
+    def test_generator_gradient(self, rng):
+        dr = rng.normal(size=4)
+        df = rng.normal(size=4)
+        _, g_df = rgan_generator_loss(dr, df)
+        check_grad(lambda z: rgan_generator_loss(dr, z)[0], df, g_df)
+
+    def test_pairing_required(self):
+        with pytest.raises(ValueError):
+            rgan_discriminator_loss(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            rgan_generator_loss(np.zeros(3), np.zeros(4))
+
+    def test_symmetric_at_equality(self):
+        loss, _, _ = rgan_discriminator_loss(np.zeros(5), np.zeros(5))
+        assert loss == pytest.approx(np.log(2))

@@ -1,0 +1,200 @@
+"""Tests for optimizers, L-BFGS training, Sequential plumbing, spectral norm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, ReLU, Tanh
+from repro.nn.losses import BinaryCrossEntropyWithLogits, SoftmaxCrossEntropy
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, Adam, LBFGSTrainer
+from repro.nn.spectral_norm import SpectralNormDense
+
+
+def quadratic_problem():
+    """Minimize ||p - t||^2 via the optimizer interface."""
+    target = np.array([1.0, -2.0, 3.0])
+    p = np.zeros(3)
+    g = np.zeros(3)
+
+    def compute_grad():
+        g[...] = 2 * (p - target)
+
+    return p, g, target, compute_grad
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p, g, target, compute = quadratic_problem()
+        opt = SGD([p], [g], lr=0.1)
+        for _ in range(200):
+            compute()
+            opt.step()
+        np.testing.assert_allclose(p, target, atol=1e-4)
+
+    def test_momentum_converges(self):
+        p, g, target, compute = quadratic_problem()
+        opt = SGD([p], [g], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            compute()
+            opt.step()
+        np.testing.assert_allclose(p, target, atol=1e-3)
+
+    def test_zero_grad(self):
+        p, g, _, _ = quadratic_problem()
+        g[...] = 5.0
+        SGD([p], [g], lr=0.1).zero_grad()
+        np.testing.assert_array_equal(g, 0.0)
+
+    def test_invalid_lr(self):
+        p, g, _, _ = quadratic_problem()
+        with pytest.raises(ValueError):
+            SGD([p], [g], lr=0.0)
+
+    def test_mismatched_params_grads(self):
+        p, g, _, _ = quadratic_problem()
+        with pytest.raises(ValueError):
+            SGD([p], [g, g.copy()])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p, g, target, compute = quadratic_problem()
+        opt = Adam([p], [g], lr=0.1)
+        for _ in range(500):
+            compute()
+            opt.step()
+        np.testing.assert_allclose(p, target, atol=1e-3)
+
+    def test_step_size_bounded_initially(self):
+        p, g, _, compute = quadratic_problem()
+        opt = Adam([p], [g], lr=0.01)
+        compute()
+        opt.step()
+        # First Adam step magnitude ~ lr regardless of gradient scale.
+        assert np.abs(p).max() <= 0.011
+
+
+class TestSequentialParams:
+    def test_flat_roundtrip(self):
+        net = Sequential(Dense(3, 4, rng=0), ReLU(), Dense(4, 2, rng=1))
+        flat = net.get_flat_params()
+        assert flat.size == net.num_params() == 3 * 4 + 4 + 4 * 2 + 2
+        net.set_flat_params(np.zeros_like(flat))
+        assert net.get_flat_params().sum() == 0.0
+        net.set_flat_params(flat)
+        np.testing.assert_array_equal(net.get_flat_params(), flat)
+
+    def test_set_wrong_size_raises(self):
+        net = Sequential(Dense(2, 2, rng=0))
+        with pytest.raises(ValueError):
+            net.set_flat_params(np.zeros(3))
+
+    def test_state_copy_is_deep(self):
+        net = Sequential(Dense(2, 2, rng=0))
+        state = net.state_copy()
+        net.params()[0][...] = 99.0
+        assert state[0].max() < 99.0
+        net.load_state(state)
+        assert net.params()[0].max() < 99.0
+
+    def test_load_state_mismatch(self):
+        net = Sequential(Dense(2, 2, rng=0))
+        with pytest.raises(ValueError):
+            net.load_state([np.zeros((2, 2))])
+
+
+class TestLBFGSTrainer:
+    def _xor_data(self):
+        x = np.array([[0.0, 0], [0, 1], [1, 0], [1, 1]])
+        y = np.array([0.0, 1, 1, 0])
+        return np.tile(x, (8, 1)), np.tile(y, 8)
+
+    def test_learns_xor(self):
+        net = Sequential(Dense(2, 8, rng=0), Tanh(), Dense(8, 1, rng=1))
+        trainer = LBFGSTrainer(net, BinaryCrossEntropyWithLogits(),
+                               max_iter=300, l2=0.0)
+        x, y = self._xor_data()
+        result = trainer.train(x, y)
+        assert result.final_loss < 0.1
+        net.set_training(False)
+        pred = (net.forward(x).reshape(-1) > 0).astype(float)
+        np.testing.assert_array_equal(pred, y)
+
+    def test_multiclass_training(self, rng):
+        x = rng.normal(size=(60, 2))
+        y = (x[:, 0] > 0).astype(int) + 2 * (x[:, 1] > 0).astype(int)
+        net = Sequential(Dense(2, 16, rng=0), Tanh(), Dense(16, 4, rng=1))
+        trainer = LBFGSTrainer(net, SoftmaxCrossEntropy(), max_iter=200)
+        result = trainer.train(x, y)
+        net.set_training(False)
+        acc = (net.forward(x).argmax(axis=1) == y).mean()
+        assert acc > 0.9
+        assert result.n_iterations > 0
+
+    def test_early_stopping_restores_best(self, rng):
+        x = rng.normal(size=(30, 3))
+        y = (x[:, 0] > 0).astype(float)
+        x_val = rng.normal(size=(15, 3))
+        y_val = (x_val[:, 0] > 0).astype(float)
+        net = Sequential(Dense(3, 32, rng=0), Tanh(), Dense(32, 1, rng=1))
+        trainer = LBFGSTrainer(net, BinaryCrossEntropyWithLogits(),
+                               max_iter=500, l2=0.0, patience=3)
+        result = trainer.train(x, y, x_val, y_val)
+        assert result.best_val_loss is not None
+        final_val = trainer.evaluate_loss(x_val, y_val)
+        assert final_val <= result.best_val_loss + 1e-6
+
+    def test_l2_shrinks_weights(self, rng):
+        x = rng.normal(size=(20, 2))
+        y = (x[:, 0] > 0).astype(float)
+
+        def weight_norm(l2):
+            net = Sequential(Dense(2, 8, rng=0), Tanh(), Dense(8, 1, rng=1))
+            LBFGSTrainer(net, BinaryCrossEntropyWithLogits(), max_iter=100,
+                         l2=l2).train(x, y)
+            return float(np.abs(net.get_flat_params()).sum())
+
+        assert weight_norm(1.0) < weight_norm(0.0)
+
+    def test_invalid_config(self):
+        net = Sequential(Dense(2, 2, rng=0))
+        with pytest.raises(ValueError):
+            LBFGSTrainer(net, BinaryCrossEntropyWithLogits(), max_iter=0)
+        with pytest.raises(ValueError):
+            LBFGSTrainer(net, BinaryCrossEntropyWithLogits(), l2=-1.0)
+
+
+class TestSpectralNorm:
+    def test_sigma_close_to_top_singular_value(self, rng):
+        layer = SpectralNormDense(8, 6, rng=0, power_iterations=30)
+        layer.forward(rng.normal(size=(2, 8)))
+        top = np.linalg.svd(layer.weight, compute_uv=False)[0]
+        assert layer._sigma == pytest.approx(top, rel=1e-3)
+
+    def test_effective_weight_has_unit_norm(self, rng):
+        layer = SpectralNormDense(10, 4, rng=0, power_iterations=20)
+        layer.forward(rng.normal(size=(3, 10)))
+        effective = layer.weight / layer._sigma
+        assert np.linalg.svd(effective, compute_uv=False)[0] == pytest.approx(
+            1.0, rel=1e-2
+        )
+
+    def test_backward_shape_and_accumulation(self, rng):
+        layer = SpectralNormDense(5, 3, rng=0)
+        x = rng.normal(size=(4, 5))
+        layer.forward(x)
+        grad_in = layer.backward(np.ones((4, 3)))
+        assert grad_in.shape == x.shape
+        assert np.abs(layer.grad_weight).sum() > 0
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SpectralNormDense(3, 3, rng=0).backward(np.zeros((1, 3)))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SpectralNormDense(0, 3)
+        with pytest.raises(ValueError):
+            SpectralNormDense(3, 3, power_iterations=0)

@@ -1,0 +1,86 @@
+"""Tests for reporting structures and miscellaneous dataclass contracts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FitReport
+from repro.crowd.workflow import CrowdResult
+from repro.datasets.base import Dataset, LabeledImage
+from repro.eval.error_analysis import ErrorBreakdown
+from repro.labeler.tuning import TuningResult
+from repro.nn.optim import TrainResult
+from repro.patterns import Pattern
+
+
+class TestFitReport:
+    def test_fields(self):
+        report = FitReport(dev_size=10, dev_defective=3, n_crowd_patterns=5,
+                           n_total_patterns=15, chosen_architecture=(8,),
+                           dev_cv_f1=0.9)
+        assert report.n_total_patterns >= report.n_crowd_patterns
+        assert report.chosen_architecture == (8,)
+
+
+class TestErrorBreakdown:
+    def test_zero_division_guard(self):
+        b = ErrorBreakdown(counts={"matching_failure": 0, "noisy_data": 0,
+                                   "difficult": 0}, n_errors=0)
+        assert all(v == 0.0 for v in b.fractions.values())
+
+    def test_rows_percentages(self):
+        b = ErrorBreakdown(counts={"matching_failure": 3, "noisy_data": 1,
+                                   "difficult": 0}, n_errors=4)
+        rows = b.rows()
+        total_pct = sum(r[2] for r in rows)
+        assert total_pct == pytest.approx(100.0)
+
+
+class TestTrainResult:
+    def test_history_default(self):
+        r = TrainResult(final_loss=0.1, best_val_loss=None, n_iterations=5,
+                        stopped_early=False)
+        assert r.history == []
+
+
+class TestTuningResult:
+    def test_scores_default(self):
+        r = TuningResult(best_hidden=(4,), best_score=0.8)
+        assert r.scores == {}
+        assert r.labeler is None
+
+
+class TestCrowdResultCounters:
+    def test_counters_consistent(self, tiny_ksdd, ksdd_crowd):
+        assert ksdd_crowd.n_raw_boxes >= ksdd_crowd.n_combined
+        assert ksdd_crowd.n_review_rejected <= ksdd_crowd.n_outliers
+        assert len(ksdd_crowd.dev_indices) == len(ksdd_crowd.dev)
+
+    def test_patterns_reference_dev_images(self, ksdd_crowd):
+        dev_set = set(ksdd_crowd.dev_indices)
+        for p in ksdd_crowd.patterns:
+            assert p.source_image in dev_set
+
+
+class TestPatternEquality:
+    def test_patterns_independent_arrays(self, rng):
+        base = rng.random((5, 5))
+        p1 = Pattern(array=base)
+        p1.array[0, 0] = -99.0
+        # Construction coerces via np.asarray: float64 input is NOT copied,
+        # so callers passing shared arrays must copy themselves (the crowd
+        # workflow does).  Document the sharing behaviour here.
+        assert base[0, 0] == -99.0
+
+
+class TestDatasetMixedShapes:
+    def test_image_shape_raises_on_mixture(self):
+        items = [
+            LabeledImage(image=np.zeros((4, 4)), label=0),
+            LabeledImage(image=np.zeros((5, 5)), label=0),
+        ]
+        ds = Dataset(name="mixed", images=items, task="binary",
+                     class_names=["a", "b"])
+        with pytest.raises(ValueError, match="mixed shapes"):
+            _ = ds.image_shape

@@ -1,0 +1,97 @@
+"""Detailed tests for policy-search behaviour and Snuba knobs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.augment.policies import DEFAULT_OPS, get_op
+from repro.augment.policy_search import (
+    PolicySearchConfig,
+    PolicySearchResult,
+    search_policies,
+)
+from repro.baselines.snuba import Snuba, SnubaConfig
+
+
+class TestPolicySearchDetails:
+    def test_magnitudes_recorded_per_op(self, toy_patterns, tiny_ksdd):
+        config = PolicySearchConfig(max_combos=1, n_magnitudes=4,
+                                    per_pattern_augment=1,
+                                    labeler_max_iter=15)
+        dev = tiny_ksdd.subset(list(range(14)))
+        result = search_policies(toy_patterns, dev, config, seed=0)
+        assert len(result.magnitudes) == len(result.ops)
+        for op, mags in zip(result.ops, result.magnitudes):
+            lo, hi = op.magnitude_range
+            assert len(mags) == 4
+            assert all(lo <= m <= hi for m in mags)
+
+    def test_max_combos_caps_search(self, toy_patterns, tiny_ksdd):
+        config = PolicySearchConfig(max_combos=3, n_magnitudes=2,
+                                    per_pattern_augment=1,
+                                    labeler_max_iter=15)
+        dev = tiny_ksdd.subset(list(range(14)))
+        result = search_policies(toy_patterns, dev, config, seed=1)
+        assert len(result.all_scores) == 3
+
+    def test_describe_mentions_ops(self):
+        result = PolicySearchResult(
+            ops=(get_op("rotate"), get_op("brightness")),
+            magnitudes=((1.0,), (1.2,)),
+            score=0.75,
+        )
+        text = result.describe()
+        assert "rotate" in text and "brightness" in text and "0.750" in text
+
+    def test_combo_size_one(self, toy_patterns, tiny_ksdd):
+        config = PolicySearchConfig(combo_size=1, max_combos=2,
+                                    n_magnitudes=2, per_pattern_augment=1,
+                                    labeler_max_iter=15)
+        dev = tiny_ksdd.subset(list(range(14)))
+        result = search_policies(toy_patterns, dev, config, seed=2)
+        assert len(result.ops) == 1
+
+    def test_all_default_ops_have_unique_names(self):
+        names = [op.name for op in DEFAULT_OPS]
+        assert len(names) == len(set(names))
+
+
+class TestSnubaKnobs:
+    def _primitives(self, rng, n=100):
+        y = rng.integers(0, 2, size=n)
+        x = rng.normal(size=(n, 5)) * 0.3
+        x[:, 0] += y * 1.2
+        x[:, 1] += y * 1.1
+        x[:, 2] += y * 1.0
+        return x, y
+
+    def test_max_heuristics_respected(self, rng):
+        x, y = self._primitives(rng)
+        snuba = Snuba(SnubaConfig(max_heuristics=2)).fit(x, y)
+        assert len(snuba.heuristics) <= 2
+
+    def test_diversity_weight_changes_selection(self, rng):
+        x, y = self._primitives(rng)
+        greedy = Snuba(SnubaConfig(max_heuristics=3,
+                                   diversity_weight=0.0)).fit(x, y)
+        diverse = Snuba(SnubaConfig(max_heuristics=3,
+                                    diversity_weight=2.0)).fit(x, y)
+        # With heavy diversity pressure the committee should not shrink.
+        assert len(diverse.heuristics) >= 1
+        assert len(greedy.heuristics) >= 1
+
+    def test_min_coverage_stops_early(self, rng):
+        x, y = self._primitives(rng)
+        snuba = Snuba(SnubaConfig(max_heuristics=10,
+                                  min_new_coverage=1.0)).fit(x, y)
+        # Impossible coverage requirement: the loop stops after the first
+        # heuristic (which always counts).
+        assert len(snuba.heuristics) == 1
+
+    def test_label_model_accuracies_anchored_to_dev(self, rng):
+        x, y = self._primitives(rng)
+        snuba = Snuba(SnubaConfig(max_heuristics=3)).fit(x, y)
+        accs = snuba.label_model.accuracies_
+        assert accs is not None
+        assert (accs >= 0.05).all() and (accs <= 0.95).all()

@@ -1,0 +1,136 @@
+"""Cross-cutting property-based tests on core invariants.
+
+These complement the per-module suites with hypothesis-driven checks of the
+library's global contracts: probability outputs, metric bounds, label-model
+posteriors, and pipeline determinism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.label_model import ABSTAIN, LabelModel
+from repro.eval.metrics import confusion_matrix, f1_macro, precision_recall_f1
+from repro.imaging.ncc import ncc_map
+from repro.imaging.ops import downsample, resize
+from repro.labeler.weak_labels import WeakLabels
+
+settings.register_profile("repro", max_examples=25, deadline=None)
+settings.load_profile("repro")
+
+
+class TestNccProperties:
+    @given(
+        img=hnp.arrays(np.float64, (12, 14),
+                       elements=st.floats(0.0, 1.0, allow_nan=False)),
+        zero_mean=st.booleans(),
+    )
+    def test_scores_always_bounded(self, img, zero_mean):
+        pattern = img[3:8, 4:9]
+        if pattern.max() == pattern.min():
+            return  # flat pattern: zero-mean variant degenerates by design
+        resp = ncc_map(img, pattern, zero_mean=zero_mean)
+        assert resp.min() >= 0.0 and resp.max() <= 1.0
+
+    @given(scale=st.integers(1, 3))
+    def test_downsample_shape_formula(self, scale):
+        rng = np.random.default_rng(scale)
+        img = rng.random((13, 17))
+        out = downsample(img, scale)
+        assert out.shape == (13 // scale, 17 // scale)
+
+    @given(h=st.integers(2, 20), w=st.integers(2, 20))
+    def test_resize_then_resize_back_bounded_error(self, h, w):
+        rng = np.random.default_rng(h * w)
+        img = rng.random((10, 10))
+        round_trip = resize(resize(img, (h, w)), (10, 10))
+        # Round-tripping cannot leave the original value range.
+        assert round_trip.min() >= img.min() - 1e-9
+        assert round_trip.max() <= img.max() + 1e-9
+
+
+class TestMetricProperties:
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)),
+                    min_size=1, max_size=50))
+    def test_confusion_matrix_total(self, pairs):
+        y_true = np.array([p[0] for p in pairs])
+        y_pred = np.array([p[1] for p in pairs])
+        mat = confusion_matrix(y_true, y_pred, n_classes=3)
+        assert mat.sum() == len(pairs)
+        assert (mat >= 0).all()
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                    min_size=1, max_size=50))
+    def test_precision_recall_consistency(self, pairs):
+        y_true = np.array([p[0] for p in pairs])
+        y_pred = np.array([p[1] for p in pairs])
+        p, r, f1 = precision_recall_f1(y_true, y_pred)
+        assert 0 <= p <= 1 and 0 <= r <= 1
+        if p > 0 and r > 0:
+            # Harmonic mean lies between min and max (up to float rounding).
+            assert min(p, r) - 1e-12 <= f1 <= max(p, r) + 1e-12
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=40))
+    def test_macro_f1_invariant_to_class_relabeling(self, labels):
+        y = np.array(labels)
+        perm = np.array([2, 3, 0, 1])
+        assert f1_macro(y, y, n_classes=4) == pytest.approx(
+            f1_macro(perm[y], perm[y], n_classes=4)
+        )
+
+
+class TestLabelModelProperties:
+    @given(
+        votes=hnp.arrays(np.int64, (20, 3),
+                         elements=st.integers(-1, 1)),
+    )
+    def test_posterior_rows_sum_to_one(self, votes):
+        model = LabelModel(n_classes=2, n_iter=3)
+        model.fit(votes)
+        post = model.predict_proba(votes)
+        np.testing.assert_allclose(post.sum(axis=1), 1.0, atol=1e-9)
+        assert (post >= 0).all()
+
+    def test_unanimous_confident_votes_win(self):
+        votes = np.column_stack([
+            np.array([1] * 30 + [0] * 30),
+            np.array([1] * 30 + [0] * 30),
+            np.array([1] * 30 + [0] * 30),
+        ])
+        model = LabelModel(n_classes=2).fit(votes)
+        pred = model.predict(votes)
+        np.testing.assert_array_equal(pred[:30], 1)
+        np.testing.assert_array_equal(pred[30:], 0)
+
+    def test_all_abstain_row_uses_prior(self):
+        votes = np.full((10, 2), ABSTAIN, dtype=np.int64)
+        votes[:8, 0] = 1  # prior leans positive
+        model = LabelModel(n_classes=2).fit(votes)
+        post = model.predict_proba(np.full((1, 2), ABSTAIN, dtype=np.int64))
+        assert post[0, 1] > 0.5
+
+
+class TestWeakLabelProperties:
+    @given(
+        probs=hnp.arrays(np.float64, (7, 3),
+                         elements=st.floats(0.01, 1.0, allow_nan=False)),
+    )
+    def test_confidence_matches_argmax(self, probs):
+        probs = probs / probs.sum(axis=1, keepdims=True)
+        weak = WeakLabels(probs=probs)
+        idx = np.arange(len(weak))
+        np.testing.assert_allclose(weak.confidence,
+                                   probs[idx, weak.labels])
+
+    @given(threshold=st.floats(0.0, 1.0))
+    def test_filter_confident_monotone(self, threshold):
+        rng = np.random.default_rng(0)
+        probs = rng.dirichlet([1, 1], size=20)
+        weak = WeakLabels(probs=probs)
+        kept = weak.filter_confident(threshold)
+        kept_stricter = weak.filter_confident(min(1.0, threshold + 0.1))
+        assert set(kept_stricter).issubset(set(kept))

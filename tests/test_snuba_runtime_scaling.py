@@ -1,0 +1,51 @@
+"""Verify the paper's Snuba-runtime observation at the unit level.
+
+Section 6.2: "adding more patterns quickly slows down Snuba as its runtime
+is exponential to the number of patterns" (combinatorial in the subset
+size).  We verify the *candidate-count* algebra directly — the quantity
+that drives the runtime — rather than wall-clock, which is flaky in CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.snuba import Snuba, SnubaConfig
+
+
+class TestCandidateGrowth:
+    def test_subset_count_linear_at_size_one(self):
+        snuba = Snuba(SnubaConfig(max_subset_size=1))
+        assert len(snuba._candidate_subsets(10)) == 10
+        assert len(snuba._candidate_subsets(40)) == 40
+
+    def test_subset_count_quadratic_at_size_two(self):
+        snuba = Snuba(SnubaConfig(max_subset_size=2))
+        # n + C(n, 2)
+        assert len(snuba._candidate_subsets(10)) == 10 + 45
+        assert len(snuba._candidate_subsets(20)) == 20 + 190
+
+    def test_subset_count_cubic_at_size_three(self):
+        snuba = Snuba(SnubaConfig(max_subset_size=3))
+        n = 12
+        expected = n + n * (n - 1) // 2 + n * (n - 1) * (n - 2) // 6
+        assert len(snuba._candidate_subsets(n)) == expected
+
+    def test_growth_ratio_explodes(self):
+        """Doubling the pattern count multiplies size-3 candidates ~8x —
+        the combinatorial blow-up the paper observed."""
+        snuba = Snuba(SnubaConfig(max_subset_size=3))
+        small = len(snuba._candidate_subsets(10))
+        large = len(snuba._candidate_subsets(20))
+        assert large / small > 6
+
+
+class TestSnubaStillWorksAtLargerWidths:
+    def test_many_primitives(self, rng):
+        n, p = 80, 30
+        y = rng.integers(0, 2, size=n)
+        x = rng.normal(size=(n, p)) * 0.3
+        x[:, 0] += 1.5 * y
+        snuba = Snuba(SnubaConfig(max_heuristics=3)).fit(x, y)
+        assert (snuba.predict(x) == y).mean() > 0.7

@@ -1,0 +1,79 @@
+"""Table 1 fidelity: reference-scale configs reproduce the paper verbatim.
+
+These check the *configuration* level (image dimensions, pool sizes, class
+counts) without generating full-scale images, so they are cheap but pin the
+generators to the paper's exact Table 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.ksdd import KSDDConfig
+from repro.datasets.neu import NEU_CLASSES, NEUConfig
+from repro.datasets.product import ProductConfig
+from repro.datasets.registry import reference_dev_size
+
+
+class TestKSDDReference:
+    def test_paper_dimensions(self):
+        cfg = KSDDConfig(scale=1.0)
+        assert cfg.image_shape == (500, 1257)
+
+    def test_paper_counts(self):
+        cfg = KSDDConfig()
+        assert (cfg.n_images, cfg.n_defective) == (399, 52)
+
+    def test_dev_set_reference(self):
+        assert reference_dev_size("ksdd") == 78  # NV; NDV=10 in the paper
+
+
+class TestProductReference:
+    @pytest.mark.parametrize("variant,shape,n,nd", [
+        ("scratch", (162, 2702), 1673, 727),
+        ("bubble", (77, 1389), 1048, 102),
+        ("stamping", (161, 5278), 1094, 148),
+    ])
+    def test_paper_geometry_and_counts(self, variant, shape, n, nd):
+        cfg = ProductConfig(variant=variant, scale=1.0)
+        assert cfg.image_shape == shape
+        assert cfg.resolved_n_images == n
+        assert cfg.resolved_n_defective == nd
+
+    @pytest.mark.parametrize("variant,nv", [
+        ("scratch", 170), ("bubble", 104), ("stamping", 109),
+    ])
+    def test_dev_set_reference(self, variant, nv):
+        assert reference_dev_size(f"product_{variant}") == nv
+
+
+class TestNEUReference:
+    def test_paper_dimensions(self):
+        cfg = NEUConfig(scale=1.0)
+        assert cfg.image_shape == (200, 200)
+
+    def test_paper_counts(self):
+        cfg = NEUConfig()
+        assert cfg.per_class == 300
+        assert len(NEU_CLASSES) == 6
+
+    def test_class_roster_matches_paper(self):
+        expected = {"rolled-in_scale", "patches", "crazing",
+                    "pitted_surface", "inclusion", "scratches"}
+        assert set(NEU_CLASSES) == expected
+
+    def test_dev_set_reference(self):
+        assert reference_dev_size("neu") == 600  # 100 per class
+
+
+class TestImbalanceOrdering:
+    def test_paper_imbalance_ranking(self):
+        """Scratch is the most balanced dataset, bubble the least."""
+        ratios = {}
+        for variant in ("scratch", "bubble", "stamping"):
+            cfg = ProductConfig(variant=variant)
+            ratios[variant] = cfg.resolved_n_defective / cfg.resolved_n_images
+        ksdd = KSDDConfig()
+        ratios["ksdd"] = ksdd.n_defective / ksdd.n_images
+        assert ratios["scratch"] > ratios["stamping"] > ratios["bubble"]
+        assert ratios["scratch"] > ratios["ksdd"]

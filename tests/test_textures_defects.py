@@ -1,0 +1,162 @@
+"""Tests for the procedural texture and defect-rendering substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import defects, textures
+from repro.imaging.boxes import BoundingBox
+
+SHAPE = (40, 60)
+
+
+class TestTextures:
+    @pytest.mark.parametrize("maker", [
+        textures.brushed_metal,
+        textures.rolled_steel,
+        textures.commutator_surface,
+    ])
+    def test_shape_and_bounds(self, maker):
+        out = maker(SHAPE, np.random.default_rng(0))
+        assert out.shape == SHAPE
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_striped_surface_shape(self):
+        out = textures.striped_surface(SHAPE, np.random.default_rng(0),
+                                       n_strips=4)
+        assert out.shape == SHAPE
+        assert 0.0 <= out.min() and out.max() <= 1.0
+
+    def test_striped_surface_has_strips(self):
+        out = textures.striped_surface((40, 30), np.random.default_rng(1),
+                                       n_strips=4, strip_contrast=0.2,
+                                       grain=0.001)
+        row_means = out.mean(axis=1)
+        # Strip boundaries create jumps in consecutive row means.
+        jumps = np.abs(np.diff(row_means))
+        assert jumps.max() > 0.02
+
+    def test_brushed_metal_is_directional(self):
+        out = textures.brushed_metal((60, 60), np.random.default_rng(2),
+                                     streak_strength=0.05, grain=0.0)
+        # Horizontal brushing: variance along rows << variance across rows.
+        row_var = np.var(np.diff(out, axis=1))
+        col_var = np.var(np.diff(out, axis=0))
+        assert row_var < col_var
+
+    def test_value_noise_amplitude(self):
+        field = textures.value_noise(SHAPE, np.random.default_rng(3),
+                                     cell=8, amplitude=0.25)
+        assert field.shape == SHAPE
+        assert np.abs(field).max() <= 0.25 + 1e-9
+
+    def test_value_noise_zero_centered(self):
+        field = textures.value_noise((80, 80), np.random.default_rng(4),
+                                     cell=8, amplitude=1.0)
+        assert abs(field.mean()) < 0.3
+
+    def test_value_noise_smoothness(self):
+        field = textures.value_noise((50, 50), np.random.default_rng(5),
+                                     cell=10, amplitude=1.0)
+        # Band-limited noise: neighbor differences are much smaller than
+        # the full dynamic range.
+        assert np.abs(np.diff(field, axis=0)).max() < 0.8
+
+    def test_value_noise_invalid_cell(self):
+        with pytest.raises(ValueError):
+            textures.value_noise(SHAPE, np.random.default_rng(0), cell=0)
+
+    def test_determinism(self):
+        a = textures.rolled_steel(SHAPE, np.random.default_rng(9))
+        b = textures.rolled_steel(SHAPE, np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+
+def _base() -> np.ndarray:
+    return np.full(SHAPE, 0.5)
+
+
+class TestDefectRenderers:
+    @pytest.mark.parametrize("renderer,kwargs", [
+        (defects.draw_scratch, {}),
+        (defects.draw_bubble, {}),
+        (defects.draw_crack, {}),
+        (defects.draw_rolled_in_scale, {}),
+        (defects.draw_patches, {}),
+        (defects.draw_crazing, {}),
+        (defects.draw_pitted_surface, {}),
+        (defects.draw_inclusion, {}),
+        (defects.draw_neu_scratches, {}),
+    ])
+    def test_output_contract(self, renderer, kwargs):
+        out, box = renderer(_base(), np.random.default_rng(0), **kwargs)
+        assert out.shape == SHAPE
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert isinstance(box, BoundingBox)
+        assert 0 <= box.y and box.y2 <= SHAPE[0]
+        assert 0 <= box.x and box.x2 <= SHAPE[1]
+        # The defect actually changed pixels inside its box.
+        rows, cols = box.to_int_slices()
+        assert np.abs(out[rows, cols] - 0.5).max() > 0.01
+
+    def test_stamping_contract(self):
+        out, box = defects.draw_stamping(_base(), np.random.default_rng(0))
+        assert out.shape == SHAPE
+        assert 0 <= box.y and box.y2 <= SHAPE[0] + 1
+
+    def test_stamping_position_respected(self):
+        out, box = defects.draw_stamping(
+            _base(), np.random.default_rng(1), position=(0.5, 0.25),
+            position_jitter=0.0,
+        )
+        cy, cx = box.center
+        assert abs(cy / SHAPE[0] - 0.5) < 0.15
+        assert abs(cx / SHAPE[1] - 0.25) < 0.15
+
+    def test_crack_darkens(self):
+        out, box = defects.draw_crack(_base(), np.random.default_rng(2),
+                                      contrast=0.4)
+        rows, cols = box.to_int_slices()
+        assert out[rows, cols].min() < 0.5 - 0.1
+
+    def test_scratch_bright_flag(self):
+        bright, box = defects.draw_scratch(_base(), np.random.default_rng(3),
+                                           contrast=0.4, bright=True)
+        rows, cols = box.to_int_slices()
+        assert bright[rows, cols].max() > 0.5 + 0.1
+        dark, box2 = defects.draw_scratch(_base(), np.random.default_rng(3),
+                                          contrast=0.4, bright=False)
+        rows2, cols2 = box2.to_int_slices()
+        assert dark[rows2, cols2].min() < 0.5 - 0.1
+
+    def test_region_constraint(self):
+        region = (0, 0, 20, 30)
+        _, box = defects.draw_scratch(_base(), np.random.default_rng(4),
+                                      region=region)
+        # Gaussian blur can spill a couple of pixels past the region.
+        assert box.y2 <= 20 + 3
+        assert box.x2 <= 30 + 3
+
+    def test_region_too_small_raises(self):
+        with pytest.raises(ValueError):
+            defects.draw_scratch(_base(), np.random.default_rng(0),
+                                 region=(0, 0, 1, 1))
+
+    def test_contrast_scales_visibility(self):
+        rng1 = np.random.default_rng(6)
+        rng2 = np.random.default_rng(6)
+        faint, _ = defects.draw_crack(_base(), rng1, contrast=0.05)
+        strong, _ = defects.draw_crack(_base(), rng2, contrast=0.4)
+        assert np.abs(strong - 0.5).max() > np.abs(faint - 0.5).max()
+
+    def test_determinism(self):
+        a, box_a = defects.draw_bubble(_base(), np.random.default_rng(7))
+        b, box_b = defects.draw_bubble(_base(), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+        assert box_a == box_b
+
+    def test_input_not_mutated(self):
+        base = _base()
+        defects.draw_crack(base, np.random.default_rng(8))
+        np.testing.assert_array_equal(base, _base())

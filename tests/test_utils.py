@@ -1,0 +1,116 @@
+"""Tests for rng helpers, table formatting and validation utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    SeedSequenceFactory,
+    as_rng,
+    check_fraction,
+    check_positive,
+    check_probability,
+    format_table,
+    spawn_rngs,
+)
+
+
+class TestRng:
+    def test_as_rng_from_int(self):
+        a = as_rng(42)
+        b = as_rng(42)
+        assert a.random() == b.random()
+
+    def test_as_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_as_rng_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_independent(self):
+        children = spawn_rngs(0, 3)
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+
+    def test_spawn_rngs_deterministic(self):
+        a = [g.random() for g in spawn_rngs(7, 2)]
+        b = [g.random() for g in spawn_rngs(7, 2)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(0), 2)
+        assert len(children) == 2
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_factory_name_stability(self):
+        f1 = SeedSequenceFactory(0)
+        f2 = SeedSequenceFactory(0)
+        assert f1.get("crowd").random() == f2.get("crowd").random()
+
+    def test_factory_names_independent(self):
+        f = SeedSequenceFactory(0)
+        assert f.get("a").random() != f.get("b").random()
+
+    def test_factory_cached(self):
+        f = SeedSequenceFactory(0)
+        assert f.get("x") is f.get("x")
+
+    def test_factory_fresh_resets(self):
+        f = SeedSequenceFactory(0)
+        first = f.get("x").random()
+        fresh = f.fresh("x").random()
+        assert first == fresh  # same stream restarted
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 0.123456]])
+        lines = out.split("\n")
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "0.123" in out
+        assert "2.500" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.startswith("Table 1")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_floatfmt(self):
+        out = format_table(["v"], [[0.56789]], floatfmt=".1f")
+        assert "0.6" in out
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["short"], ["a-longer-cell"]])
+        lines = out.split("\n")
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        assert check_positive("x", 0, strict=False) == 0
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+
+    def test_check_fraction(self):
+        assert check_fraction("f", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0)
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.0)
