@@ -1,13 +1,31 @@
-"""Benchmark session plumbing: replay emitted tables after the run."""
+"""Benchmark session plumbing: slow markers + replay emitted tables.
+
+Everything under ``benchmarks/`` regenerates paper tables with real pipeline
+runs, so it is all marked ``slow`` here; the fast tier
+(``pytest -m "not slow"``) skips the directory wholesale while the full
+tier-1 run still exercises it.
+"""
 
 from __future__ import annotations
 
 import sys
 from pathlib import Path
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).parent))
 
 from _common import emitted  # noqa: E402
+
+
+_BENCH_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    # This hook sees the whole session's items; only mark the ones here.
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -1,0 +1,102 @@
+"""Perf smoke: batched match engine vs naive per-call feature generation.
+
+The engine exists to make feature generation (the pipeline's dominant cost)
+run at batch throughput; this benchmark records the speedup on a fixed
+16-image × 24-pattern workload so regressions show up in the emitted table
+and in the pytest-benchmark timings.  Scores must stay within the 1e-6
+equivalence envelope while getting faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _common import emit
+from repro.features.generator import FeatureGenerator
+from repro.imaging.pyramid import PyramidMatcher
+from repro.patterns import Pattern
+from repro.utils.tables import format_table
+
+N_IMAGES = 16
+N_PATTERNS = 24
+
+
+@pytest.fixture(scope="module")
+def engine_workload():
+    rng = np.random.default_rng(7)
+    images = [rng.random((96, 96)) for _ in range(N_IMAGES)]
+    # Three recurring shapes, as produced by shape-preserving augmentation —
+    # the regime the engine's per-shape window-statistics cache targets.
+    shapes = [(12, 12), (10, 14), (16, 9)]
+    patterns = [Pattern(array=rng.random(shapes[k % 3])) for k in range(N_PATTERNS)]
+    return images, patterns
+
+
+def _generate(patterns, matcher, images, strategy):
+    return FeatureGenerator(
+        patterns, matcher, strategy=strategy
+    ).transform_images(images).values
+
+
+@pytest.mark.benchmark(group="engine-speedup")
+def test_naive_exact_time(benchmark, engine_workload):
+    images, patterns = engine_workload
+    benchmark.pedantic(
+        _generate, args=(patterns, PyramidMatcher(enabled=False), images, "naive"),
+        rounds=2, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="engine-speedup")
+def test_batched_exact_time(benchmark, engine_workload):
+    images, patterns = engine_workload
+    benchmark.pedantic(
+        _generate, args=(patterns, PyramidMatcher(enabled=False), images, "batched"),
+        rounds=2, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="engine-speedup")
+def test_engine_speedup_and_equivalence(benchmark, engine_workload):
+    images, patterns = engine_workload
+    rows = []
+    speedups = {}
+
+    def timed(strategy, matcher):
+        # Best of two runs per strategy: shields the speedup ratio from
+        # one-off scheduler noise on shared CI runners.
+        best, values = np.inf, None
+        for _ in range(2):
+            t0 = time.perf_counter()
+            values = _generate(patterns, matcher, images, strategy)
+            best = min(best, time.perf_counter() - t0)
+        return best, values
+
+    def run():
+        for mode, matcher in [
+            ("exact", PyramidMatcher(enabled=False)),
+            ("pyramid", PyramidMatcher(factor=4)),
+        ]:
+            naive_t, naive = timed("naive", matcher)
+            batched_t, batched = timed("batched", matcher)
+            gap = float(np.abs(naive - batched).max())
+            speedups[mode] = naive_t / batched_t
+            rows.append([mode, naive_t, batched_t, speedups[mode], f"{gap:.1e}"])
+            assert gap < 1e-6, f"{mode}: batched diverged from naive by {gap}"
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("engine_speedup", format_table(
+        ["Mode", "Naive (s)", "Batched (s)", "Speedup", "Max |gap|"],
+        rows,
+        title=f"Batched FFT match engine vs naive per-call matching "
+              f"({N_IMAGES} images x {N_PATTERNS} patterns)",
+    ))
+    assert speedups["exact"] >= 2.0, (
+        f"batched exact matching only {speedups['exact']:.2f}x faster"
+    )
+    assert speedups["pyramid"] >= 1.2, (
+        f"batched pyramid matching only {speedups['pyramid']:.2f}x faster"
+    )

@@ -53,9 +53,11 @@ class PatternAugmenter:
         config: AugmentConfig | None = None,
         matcher: PyramidMatcher | None = None,
         seed: int | np.random.Generator | None = 0,
+        n_jobs: int = 1,
     ):
         self.config = config or AugmentConfig()
         self.matcher = matcher or PyramidMatcher()
+        self.n_jobs = n_jobs
         self._rng = as_rng(seed)
         self.policy_result: PolicySearchResult | None = None
 
@@ -72,7 +74,8 @@ class PatternAugmenter:
         augmented: list[Pattern] = list(patterns)
         if cfg.mode in ("policy", "both") and cfg.n_policy > 0:
             self.policy_result = search_policies(
-                patterns, dev, cfg.policy_search, self.matcher, seed=self._rng
+                patterns, dev, cfg.policy_search, self.matcher,
+                seed=self._rng, n_jobs=self.n_jobs,
             )
             augmented.extend(
                 policy_augment(patterns, self.policy_result, cfg.n_policy,

@@ -112,9 +112,10 @@ def _score_combo(
     config: PolicySearchConfig,
     matcher: PyramidMatcher,
     rng: np.random.Generator,
+    n_jobs: int = 1,
 ) -> float:
     """Train the labeler with base+augmented patterns, score on the test half."""
-    fg = FeatureGenerator(base_patterns + augmented, matcher)
+    fg = FeatureGenerator(base_patterns + augmented, matcher, n_jobs=n_jobs)
     x_train = fg.transform(train).values
     x_test = fg.transform(test).values
     labeler = MLPLabeler(
@@ -131,8 +132,13 @@ def search_policies(
     config: PolicySearchConfig | None = None,
     matcher: PyramidMatcher | None = None,
     seed: int | np.random.Generator | None = 0,
+    n_jobs: int = 1,
 ) -> PolicySearchResult:
-    """Find the policy combination that maximizes dev-set F1."""
+    """Find the policy combination that maximizes dev-set F1.
+
+    ``n_jobs`` parallelises the feature generation inside each combination's
+    scoring run (the search's dominant cost); it never changes results.
+    """
     if not patterns:
         raise ValueError("need at least one pattern to search policies")
     config = config or PolicySearchConfig()
@@ -163,7 +169,7 @@ def search_policies(
             patterns, ops, mags, config.per_pattern_augment, rng
         )
         score = _score_combo(patterns, augmented, train, test, n_classes,
-                             task, config, matcher, rng)
+                             task, config, matcher, rng, n_jobs=n_jobs)
         key = tuple(op.name for op in ops)
         all_scores[key] = score
         if best is None or score > best.score:

@@ -19,11 +19,16 @@ class InspectorGadgetConfig:
     architecture search (Section 5.2); ``labeler_max_iter`` bounds each
     L-BFGS run.  Set ``tune`` to False to skip model tuning and train a
     single default MLP (used by the Figure 11 ablation).
+
+    ``n_jobs`` parallelises batched feature generation over images
+    (``-1`` = one thread per CPU); it never changes results — the match
+    engine's output is byte-identical for any ``n_jobs``.
     """
 
     workflow: WorkflowConfig = field(default_factory=WorkflowConfig)
     augment: AugmentConfig = field(default_factory=AugmentConfig)
     matcher: PyramidMatcher = field(default_factory=PyramidMatcher)
+    n_jobs: int = 1
     tune: bool = True
     tune_max_layers: int = 3
     tune_min_per_class: int = 20
@@ -32,6 +37,8 @@ class InspectorGadgetConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.n_jobs != -1 and self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1 or -1")
         if self.tune_max_layers < 1:
             raise ValueError("tune_max_layers must be >= 1")
         if self.labeler_max_iter < 1:

@@ -90,10 +90,12 @@ class InspectorGadget:
         self._n_classes = n_classes
 
         augmenter = PatternAugmenter(self.config.augment, self.config.matcher,
-                                     seed=self._rng)
+                                     seed=self._rng, n_jobs=self.config.n_jobs)
         patterns = augmenter.augment(crowd.patterns, crowd.dev)
 
-        self.feature_generator = FeatureGenerator(patterns, self.config.matcher)
+        self.feature_generator = FeatureGenerator(
+            patterns, self.config.matcher, n_jobs=self.config.n_jobs
+        )
         dev_features = self.feature_generator.transform(crowd.dev)
         dev_labels = crowd.dev.labels
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.imaging.ops import fit_pattern_to_image
 from repro.imaging.pyramid import PyramidMatcher
 from repro.patterns import Pattern
 
@@ -17,6 +18,8 @@ class FeatureGenerationFunction:
     augmentation rescales patterns), the pattern is shrunk to fit — the
     similarity semantics ("is something like this present?") survive the
     rescale, and a hard failure would leak augmentation internals to callers.
+    The shrink is shared with the batched match engine via
+    :func:`repro.imaging.ops.fit_pattern_to_image`, so the two paths agree.
     """
 
     def __init__(self, pattern: Pattern, matcher: PyramidMatcher | None = None):
@@ -24,11 +27,5 @@ class FeatureGenerationFunction:
         self.matcher = matcher or PyramidMatcher()
 
     def __call__(self, image: np.ndarray) -> float:
-        arr = self.pattern.array
-        ih, iw = image.shape
-        ph, pw = arr.shape
-        if ph > ih or pw > iw:
-            from repro.imaging.ops import resize  # local import avoids cycle
-
-            arr = resize(arr, (min(ph, ih), min(pw, iw)))
+        arr = fit_pattern_to_image(self.pattern.array, image.shape)
         return self.matcher(image, arr).score

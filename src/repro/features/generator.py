@@ -1,4 +1,30 @@
-"""Batch feature generation: images x patterns similarity matrices."""
+"""Batch feature generation: images × patterns similarity matrices.
+
+This module is the bridge between the pattern set (Section 5.1's feature
+generation functions) and everything downstream: the labeler, the Snuba and
+GOGGLES baseline adapters, and the evaluation harness all consume the
+``(n_images, n_patterns)`` :class:`FeatureMatrix` produced here.
+
+Two execution strategies compute the same matrix:
+
+* ``strategy="batched"`` (default) routes the whole matrix through
+  :class:`repro.imaging.engine.MatchEngine`, which hoists the per-image FFT
+  spectra, per-pattern spectra and per-shape window-energy maps out of the
+  ``images × patterns`` loop and can parallelise over images (``n_jobs``).
+  This is the hot path: it computes each image's forward FFT once instead of
+  once per pattern.
+* ``strategy="naive"`` is the original per-cell double loop over
+  :class:`FeatureGenerationFunction` callables — one independent
+  ``ncc_map``/``pyramid_match`` call per ``(image, pattern)`` pair.  It is
+  kept as the reference implementation for the engine-equivalence test
+  harness (``tests/test_match_engine.py``) and as an escape hatch.
+
+Both strategies honour the configured :class:`PyramidMatcher` (exact or
+pyramid mode, plain or ``zero_mean`` NCC) and the oversized-pattern
+shrinking of :class:`FeatureGenerationFunction`, so scores agree to within
+FFT round-off (≤ a few ULPs; the harness asserts 1e-6) and results are
+deterministic regardless of ``n_jobs``.
+"""
 
 from __future__ import annotations
 
@@ -8,10 +34,13 @@ import numpy as np
 
 from repro.datasets.base import Dataset
 from repro.features.fgf import FeatureGenerationFunction
+from repro.imaging.engine import MatchEngine
 from repro.imaging.pyramid import PyramidMatcher
 from repro.patterns import Pattern
 
 __all__ = ["FeatureGenerator", "FeatureMatrix"]
+
+_STRATEGIES = ("batched", "naive")
 
 
 @dataclass
@@ -44,17 +73,27 @@ class FeatureGenerator:
     """Matches a fixed pattern set against image collections.
 
     The matcher (pyramid by default) is shared across FGFs; pass
-    ``PyramidMatcher(enabled=False)`` for exact matching.
+    ``PyramidMatcher(enabled=False)`` for exact matching.  ``strategy``
+    selects the batched match engine (default) or the naive per-call loop;
+    ``n_jobs`` enables thread parallelism over images in the batched path.
     """
 
     def __init__(
         self,
         patterns: list[Pattern],
         matcher: PyramidMatcher | None = None,
+        strategy: str = "batched",
+        n_jobs: int = 1,
     ):
         if not patterns:
             raise ValueError("FeatureGenerator needs at least one pattern")
+        if strategy not in _STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+            )
         self.matcher = matcher or PyramidMatcher()
+        self.strategy = strategy
+        self.engine = MatchEngine(self.matcher, n_jobs=n_jobs)
         self.fgfs = [FeatureGenerationFunction(p, self.matcher) for p in patterns]
         self.patterns = patterns
 
@@ -62,10 +101,15 @@ class FeatureGenerator:
         """Compute the (len(images), n_patterns) similarity matrix."""
         if not images:
             raise ValueError("no images to transform")
-        values = np.empty((len(images), len(self.fgfs)))
-        for i, image in enumerate(images):
-            for j, fgf in enumerate(self.fgfs):
-                values[i, j] = fgf(image)
+        if self.strategy == "naive":
+            values = np.empty((len(images), len(self.fgfs)))
+            for i, image in enumerate(images):
+                for j, fgf in enumerate(self.fgfs):
+                    values[i, j] = fgf(image)
+        else:
+            values = self.engine.score_matrix(
+                images, [p.array for p in self.patterns]
+            )
         return FeatureMatrix(
             values=values,
             pattern_labels=np.array([p.label for p in self.patterns]),

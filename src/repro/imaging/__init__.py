@@ -13,6 +13,7 @@ from repro.imaging.boxes import (
     group_overlapping,
     iou,
 )
+from repro.imaging.engine import MatchEngine
 from repro.imaging.ncc import match_pattern, ncc_map
 from repro.imaging.ops import (
     adjust_brightness,
@@ -21,6 +22,7 @@ from repro.imaging.ops import (
     clip01,
     crop,
     downsample,
+    fit_pattern_to_image,
     flip_horizontal,
     flip_vertical,
     gaussian_noise,
@@ -39,6 +41,7 @@ __all__ = [
     "combine_boxes",
     "group_overlapping",
     "iou",
+    "MatchEngine",
     "match_pattern",
     "ncc_map",
     "adjust_brightness",
@@ -47,6 +50,7 @@ __all__ = [
     "clip01",
     "crop",
     "downsample",
+    "fit_pattern_to_image",
     "flip_horizontal",
     "flip_vertical",
     "gaussian_noise",

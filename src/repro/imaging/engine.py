@@ -1,0 +1,323 @@
+"""Batched FFT match engine: the full images × patterns similarity matrix.
+
+The per-call path (:func:`repro.imaging.ncc.ncc_map`) recomputes every FFT
+from scratch on each ``(image, pattern)`` pair — six to nine transforms per
+cell.  Feature generation calls it ``n_images × n_patterns`` times, which
+makes it the dominant cost of the whole pipeline.  :class:`MatchEngine`
+computes the same similarity matrix with the redundant work hoisted out:
+
+* **One padded spectrum per image.**  Each image is transformed once with
+  ``rfft2`` at a size large enough for the *largest* pattern
+  (``next_fast_len(H + h_max - 1)``); because linear convolution only needs
+  the FFT length to be at least ``H + h - 1``, the same spectrum serves every
+  pattern shape.  Per cell only one inverse transform remains.
+* **One spectrum per pattern per image shape.**  Pattern spectra (flipped,
+  and mean-centred for the ``zero_mean`` variant) are computed once per
+  pattern set and reused across all images of the same shape.
+* **Window statistics from integral images.**  The sliding-window energy
+  (and window sum/variance for ``zero_mean``) depends only on
+  ``(image, pattern_shape)``.  Augmented patterns overwhelmingly share
+  shapes, so these maps are computed once per shape from two cumulative-sum
+  tables per image — no FFT at all — and cached.
+* **Opt-in parallelism over images.**  ``n_jobs > 1`` fans image rows out to
+  a thread pool in contiguous chunks (FFT work releases the GIL).  All
+  shared state is computed *before* dispatch and read-only afterwards, and
+  every worker writes disjoint rows of a preallocated matrix, so output is
+  deterministic and byte-identical to ``n_jobs=1``.
+
+Caching invariants: cached spectra/tables are keyed by value-derived shapes
+only and are never mutated after creation; the engine holds no state across
+:meth:`MatchEngine.score_matrix` calls, so patterns and images may be freely
+mutated between calls.
+
+Equivalence: for every cell the engine computes the same mathematical
+quantity as the per-call path — same flat-window threshold and [0, 1]
+clamping (shared via :func:`repro.imaging.ncc._finalize_response`), same
+oversized-pattern shrinking (:func:`repro.imaging.ops.fit_pattern_to_image`),
+and, in pyramid mode, the same candidate selection and refinement helpers as
+:func:`repro.imaging.pyramid.pyramid_match`.  Only FFT padding sizes and the
+window-sum algorithm differ, which moves individual scores by round-off
+only (~1e-14 observed; the equivalence harness asserts 1e-6).  The one
+theoretical exception: a window whose energy lies within that round-off of
+``_ENERGY_EPS`` itself can fall on opposite sides of the flat-window
+threshold in the two paths.  Such knife-edge windows require an
+adversarially scaled pattern copy (energy within ~1e-13 of 1e-10) and do
+not occur in real or randomized imagery, but on them the paths may
+legitimately disagree — the threshold exists precisely because scores
+there are round-off noise.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import fft as sp_fft
+
+from repro.imaging.ncc import _finalize_response, match_pattern
+from repro.imaging.ops import as_image, downsample, fit_pattern_to_image
+from repro.imaging.pyramid import (
+    PyramidMatcher,
+    _coarse_ok,
+    _min_peak_distance,
+    _refine_peaks,
+    _top_k_peaks,
+)
+
+__all__ = ["MatchEngine"]
+
+
+def _integral_table(values: np.ndarray) -> np.ndarray:
+    """Zero-padded 2-D cumulative sum: ``table[y, x] == values[:y, :x].sum()``."""
+    table = np.zeros((values.shape[0] + 1, values.shape[1] + 1))
+    np.cumsum(values, axis=0, out=table[1:, 1:])
+    np.cumsum(table[1:, 1:], axis=1, out=table[1:, 1:])
+    return table
+
+
+def _window_sums(table: np.ndarray, h: int, w: int) -> np.ndarray:
+    """All ``h x w`` sliding-window sums from an integral table."""
+    return table[h:, w:] - table[:-h, w:] - table[h:, :-w] + table[:-h, :-w]
+
+
+@dataclass
+class _PatternSet:
+    """Spectra and energies of a pattern list, specialised to one image shape.
+
+    ``arrays`` are the patterns after :func:`fit_pattern_to_image`, so every
+    entry fits the image.  ``spectra`` hold ``rfft2`` of the flipped (and,
+    for ``zero_mean``, mean-centred) kernels at the shared padded FFT shape
+    ``fshape``; ``energies`` are the matching kernel energies.  Everything is
+    computed once and treated as read-only afterwards.
+    """
+
+    arrays: list[np.ndarray]
+    fshape: tuple[int, int]
+    spectra: list[np.ndarray]
+    energies: list[float]
+    zero_mean: bool
+
+    @classmethod
+    def build(
+        cls,
+        patterns: list[np.ndarray],
+        image_shape: tuple[int, int],
+        zero_mean: bool,
+    ) -> _PatternSet:
+        ih, iw = image_shape
+        arrays = [fit_pattern_to_image(p, image_shape) for p in patterns]
+        h_max = max(a.shape[0] for a in arrays)
+        w_max = max(a.shape[1] for a in arrays)
+        fshape = (
+            sp_fft.next_fast_len(ih + h_max - 1, True),
+            sp_fft.next_fast_len(iw + w_max - 1, True),
+        )
+        kernels = [a - a.mean() if zero_mean else a for a in arrays]
+        spectra = [sp_fft.rfft2(k[::-1, ::-1], s=fshape) for k in kernels]
+        energies = [float(np.sum(k * k)) for k in kernels]
+        return cls(
+            arrays=arrays,
+            fshape=fshape,
+            spectra=spectra,
+            energies=energies,
+            zero_mean=zero_mean,
+        )
+
+
+def _iter_responses(image: np.ndarray, pset: _PatternSet):
+    """Yield the full NCC response map of ``image`` for each pattern.
+
+    The image spectrum and integral tables are computed once; window
+    statistics are cached per pattern *shape*, so shape-sharing augmented
+    patterns pay for them only once.
+    """
+    ih, iw = image.shape
+    image_spectrum = sp_fft.rfft2(image, s=pset.fshape)
+    energy_table = _integral_table(image * image)
+    sum_table = _integral_table(image) if pset.zero_mean else None
+    denom_maps: dict[tuple[int, int], np.ndarray] = {}
+    for arr, spectrum, energy in zip(pset.arrays, pset.spectra, pset.energies):
+        h, w = arr.shape
+        full = sp_fft.irfft2(image_spectrum * spectrum, s=pset.fshape)
+        numerator = full[h - 1 : ih, w - 1 : iw]
+        if (h, w) not in denom_maps:
+            window_energy = _window_sums(energy_table, h, w)
+            np.clip(window_energy, 0.0, None, out=window_energy)
+            if pset.zero_mean:
+                window_sum = _window_sums(sum_table, h, w)
+                window_var = window_energy - window_sum**2 / (h * w)
+                np.clip(window_var, 0.0, None, out=window_var)
+                denom_maps[h, w] = window_var
+            else:
+                denom_maps[h, w] = window_energy
+        denom = np.sqrt(energy * denom_maps[h, w])
+        yield _finalize_response(numerator, denom)
+
+
+@dataclass
+class _ShapePlan:
+    """Precomputed, read-only matching plan for one distinct image shape.
+
+    ``exact_indices`` are pattern columns scored by full-image NCC (all of
+    them when the matcher is exact; the coarse-ineligible ones in pyramid
+    mode).  ``coarse_indices`` are scored coarse-to-fine: ``coarse_set``
+    matches downsampled patterns against the downsampled image, then
+    candidates are refined at full resolution with the fine ``arrays``.
+    """
+
+    exact_indices: list[int] = field(default_factory=list)
+    exact_set: _PatternSet | None = None
+    coarse_indices: list[int] = field(default_factory=list)
+    coarse_set: _PatternSet | None = None
+    coarse_fine_arrays: list[np.ndarray] = field(default_factory=list)
+    coarse_min_dist: list[int] = field(default_factory=list)
+
+
+class MatchEngine:
+    """Batched drop-in for per-call matching behind :class:`FeatureGenerator`.
+
+    The engine reads its matching mode from a :class:`PyramidMatcher`:
+    ``enabled=False`` scores by exact full-image NCC, ``enabled=True``
+    replicates the coarse-to-fine pyramid (same gating, candidate selection
+    and refinement as :func:`pyramid_match`), and ``zero_mean`` selects the
+    NCC variant — so any pipeline configured with a matcher gets identical
+    scores, just batched.
+
+    ``n_jobs`` parallelises over images with threads (``-1`` = one per CPU);
+    results are deterministic and independent of ``n_jobs``.
+    """
+
+    def __init__(self, matcher: PyramidMatcher | None = None, n_jobs: int = 1):
+        self.matcher = matcher or PyramidMatcher()
+        # Same config validation pyramid_match applies per call, surfaced at
+        # construction so the batched and naive paths reject the same setups.
+        if self.matcher.enabled:
+            if self.matcher.factor < 1:
+                raise ValueError(
+                    f"factor must be >= 1, got {self.matcher.factor}"
+                )
+            if self.matcher.candidates < 1:
+                raise ValueError(
+                    f"candidates must be >= 1, got {self.matcher.candidates}"
+                )
+        if n_jobs == -1:
+            n_jobs = os.cpu_count() or 1
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+        self.n_jobs = int(n_jobs)
+
+    # -- public API ----------------------------------------------------------
+
+    def score_matrix(
+        self, images: list[np.ndarray], patterns: list[np.ndarray]
+    ) -> np.ndarray:
+        """Best-match scores of every pattern in every image: ``(n, p)``."""
+        if not images:
+            raise ValueError("no images to match")
+        if not patterns:
+            raise ValueError("no patterns to match")
+        images = [as_image(im) for im in images]
+        patterns = [as_image(p) for p in patterns]
+        out = np.empty((len(images), len(patterns)))
+
+        by_shape: dict[tuple[int, int], list[int]] = {}
+        for i, im in enumerate(images):
+            by_shape.setdefault(im.shape, []).append(i)
+
+        for shape, indices in by_shape.items():
+            plan = self._plan(shape, patterns)
+            workers = min(self.n_jobs, len(indices))
+            if workers <= 1:
+                for i in indices:
+                    out[i] = self._score_row(images[i], plan)
+            else:
+                bounds = np.linspace(0, len(indices), workers + 1).astype(int)
+                chunks = [
+                    indices[bounds[c] : bounds[c + 1]] for c in range(workers)
+                ]
+
+                def run_chunk(chunk: list[int]) -> None:
+                    for i in chunk:
+                        out[i] = self._score_row(images[i], plan)
+
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    # list() re-raises any worker exception.
+                    list(pool.map(run_chunk, chunks))
+        return out
+
+    # -- planning ------------------------------------------------------------
+
+    def _plan(
+        self, image_shape: tuple[int, int], patterns: list[np.ndarray]
+    ) -> _ShapePlan:
+        matcher = self.matcher
+        plan = _ShapePlan()
+        fitted = [fit_pattern_to_image(p, image_shape) for p in patterns]
+        if matcher.enabled:
+            for j, arr in enumerate(fitted):
+                if _coarse_ok(image_shape, arr.shape, matcher.factor):
+                    plan.coarse_indices.append(j)
+                else:
+                    plan.exact_indices.append(j)
+        else:
+            plan.exact_indices = list(range(len(fitted)))
+
+        if plan.exact_indices:
+            plan.exact_set = _PatternSet.build(
+                [fitted[j] for j in plan.exact_indices],
+                image_shape,
+                matcher.zero_mean,
+            )
+        if plan.coarse_indices:
+            factor = matcher.factor
+            coarse_shape = (image_shape[0] // factor, image_shape[1] // factor)
+            coarse_patterns = [
+                downsample(fitted[j], factor) for j in plan.coarse_indices
+            ]
+            plan.coarse_set = _PatternSet.build(
+                coarse_patterns, coarse_shape, matcher.zero_mean
+            )
+            plan.coarse_fine_arrays = [fitted[j] for j in plan.coarse_indices]
+            plan.coarse_min_dist = [
+                _min_peak_distance(cp.shape) for cp in coarse_patterns
+            ]
+        return plan
+
+    # -- scoring -------------------------------------------------------------
+
+    def _score_row(self, image: np.ndarray, plan: _ShapePlan) -> np.ndarray:
+        n = len(plan.exact_indices) + len(plan.coarse_indices)
+        row = np.empty(n)
+        if plan.exact_set is not None:
+            for j, response in zip(
+                plan.exact_indices, _iter_responses(image, plan.exact_set)
+            ):
+                row[j] = response.max()
+        if plan.coarse_set is not None:
+            self._score_coarse(image, plan, row)
+        return row
+
+    def _score_coarse(
+        self, image: np.ndarray, plan: _ShapePlan, row: np.ndarray
+    ) -> None:
+        matcher = self.matcher
+        coarse_image = downsample(image, matcher.factor)
+        responses = _iter_responses(coarse_image, plan.coarse_set)
+        for j, arr, min_dist, response in zip(
+            plan.coarse_indices, plan.coarse_fine_arrays,
+            plan.coarse_min_dist, responses,
+        ):
+            peaks = _top_k_peaks(response, matcher.candidates, min_dist)
+            if peaks:
+                best = _refine_peaks(
+                    image, arr, peaks, matcher.factor,
+                    margin=matcher.factor, zero_mean=matcher.zero_mean,
+                )
+                if best.score >= 0:
+                    row[j] = best.score
+                    continue
+            row[j] = match_pattern(
+                image, arr, zero_mean=matcher.zero_mean
+            ).score

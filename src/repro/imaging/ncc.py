@@ -41,6 +41,19 @@ class MatchResult:
     x: int
 
 
+def _finalize_response(numerator: np.ndarray, denom: np.ndarray) -> np.ndarray:
+    """Turn raw correlation numerator/denominator into a [0, 1] response.
+
+    Shared by the per-call path below and the batched ``MatchEngine`` so the
+    flat-window threshold and clamping semantics live in exactly one place.
+    Negative correlations carry no "defect present" evidence, so the response
+    is clamped to [0, 1].
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        response = np.where(denom > _ENERGY_EPS, numerator / denom, 0.0)
+    return np.clip(response, 0.0, 1.0)
+
+
 def _ccorr_normed(image: np.ndarray, pattern: np.ndarray) -> np.ndarray:
     h, w = pattern.shape
     # Cross-correlation == convolution with the flipped kernel.
@@ -49,9 +62,7 @@ def _ccorr_normed(image: np.ndarray, pattern: np.ndarray) -> np.ndarray:
     np.clip(window_energy, 0.0, None, out=window_energy)  # FFT round-off guard
     pattern_energy = float(np.sum(pattern**2))
     denom = np.sqrt(pattern_energy * window_energy)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        response = np.where(denom > _ENERGY_EPS, numerator / denom, 0.0)
-    return np.clip(response, 0.0, 1.0)
+    return _finalize_response(numerator, denom)
 
 
 def _ccoeff_normed(image: np.ndarray, pattern: np.ndarray) -> np.ndarray:
@@ -66,11 +77,7 @@ def _ccoeff_normed(image: np.ndarray, pattern: np.ndarray) -> np.ndarray:
     np.clip(window_var, 0.0, None, out=window_var)
     pattern_energy = float(np.sum(centered**2))
     denom = np.sqrt(pattern_energy * window_var)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        response = np.where(denom > _ENERGY_EPS, numerator / denom, 0.0)
-    # Correlation coefficient lies in [-1, 1]; negative correlations carry
-    # no "defect present" evidence, so clamp to [0, 1] like the default.
-    return np.clip(response, 0.0, 1.0)
+    return _finalize_response(numerator, denom)
 
 
 def ncc_map(

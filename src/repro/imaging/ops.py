@@ -15,6 +15,7 @@ __all__ = [
     "clip01",
     "as_image",
     "affine_transform",
+    "fit_pattern_to_image",
     "resize",
     "rotate",
     "shear_x",
@@ -117,6 +118,24 @@ def resize(image: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
     yy = np.clip(yy, 0, in_h - 1)
     xx = np.clip(xx, 0, in_w - 1)
     return _bilinear_sample(image, yy, xx, fill=0.0)
+
+
+def fit_pattern_to_image(
+    pattern: np.ndarray, image_shape: tuple[int, int]
+) -> np.ndarray:
+    """Shrink ``pattern`` along any axis where it exceeds ``image_shape``.
+
+    Augmentation can rescale patterns beyond an image's extent; the
+    similarity semantics ("is something like this present?") survive the
+    shrink.  Both the per-call FGF path and the batched match engine route
+    oversized patterns through this helper so they agree exactly.  Patterns
+    that already fit are returned unchanged (same object, no copy).
+    """
+    ih, iw = image_shape
+    ph, pw = pattern.shape
+    if ph > ih or pw > iw:
+        return resize(pattern, (min(ph, ih), min(pw, iw)))
+    return pattern
 
 
 def rotate(image: np.ndarray, degrees: float, fill: float = 0.0) -> np.ndarray:

@@ -4,6 +4,12 @@ Scanning every pattern over every full-resolution image is the dominant cost
 of feature generation.  The paper adopts the classic pyramid method
 [Adelson et al. 1984]: first match at reduced resolution to find candidate
 regions, then re-match at full resolution only inside those regions.
+
+The coarse-level gating (:func:`_coarse_ok`), peak suppression
+(:func:`_top_k_peaks`) and full-resolution refinement (:func:`_refine_peaks`)
+are factored out as helpers so the batched :class:`repro.imaging.engine.MatchEngine`
+can reuse them verbatim — the engine computes coarse response maps in batch
+but must select and refine candidates exactly like the per-call path here.
 """
 
 from __future__ import annotations
@@ -22,8 +28,32 @@ __all__ = ["pyramid_match", "PyramidMatcher"]
 _MIN_COARSE_SIDE = 3
 
 
+def _coarse_ok(
+    image_shape: tuple[int, int], pattern_shape: tuple[int, int], factor: int
+) -> bool:
+    """Whether the coarse level is usable for this image/pattern/factor."""
+    h, w = pattern_shape
+    return (
+        factor > 1
+        and min(h, w) // factor >= _MIN_COARSE_SIDE
+        and image_shape[0] // factor > h // factor
+        and image_shape[1] // factor > w // factor
+    )
+
+
+def _min_peak_distance(coarse_pattern_shape: tuple[int, int]) -> int:
+    """Non-maximum suppression radius at the coarse level."""
+    return max(1, min(coarse_pattern_shape) // 2)
+
+
 def _top_k_peaks(response: np.ndarray, k: int, min_distance: int) -> list[tuple[int, int]]:
-    """Greedy non-maximum suppression: up to ``k`` peaks ``min_distance`` apart."""
+    """Greedy non-maximum suppression: up to ``k`` peaks ``min_distance`` apart.
+
+    Each selected peak suppresses the square window of Chebyshev radius
+    ``min_distance`` centred on it, clipped symmetrically at all four image
+    borders, so no two returned peaks are within ``min_distance`` of each
+    other along both axes.
+    """
     resp = response.copy()
     peaks: list[tuple[int, int]] = []
     for _ in range(k):
@@ -34,8 +64,44 @@ def _top_k_peaks(response: np.ndarray, k: int, min_distance: int) -> list[tuple[
         peaks.append((int(y), int(x)))
         y0 = max(0, y - min_distance)
         x0 = max(0, x - min_distance)
-        resp[y0 : y + min_distance + 1, x0 : x + min_distance + 1] = -1.0
+        y1 = min(resp.shape[0], y + min_distance + 1)
+        x1 = min(resp.shape[1], x + min_distance + 1)
+        resp[y0:y1, x0:x1] = -np.inf
     return peaks
+
+
+def _refine_peaks(
+    image: np.ndarray,
+    pattern: np.ndarray,
+    peaks: list[tuple[int, int]],
+    factor: int,
+    margin: int,
+    zero_mean: bool,
+) -> MatchResult:
+    """Re-match ``pattern`` at full resolution around each coarse peak.
+
+    Returns the best full-resolution match over all candidate windows, or a
+    sentinel with ``score < 0`` when no window could hold the pattern
+    (callers fall back to exact matching).
+    """
+    h, w = pattern.shape
+    best = MatchResult(score=-1.0, y=0, x=0)
+    for cy, cx in peaks:
+        # Map the coarse peak back to full resolution and search a window
+        # of (pattern size + 2*margin) around it.
+        fy = cy * factor
+        fx = cx * factor
+        y0 = max(0, fy - margin)
+        x0 = max(0, fx - margin)
+        win_h = h + 2 * margin
+        win_w = w + 2 * margin
+        window = crop(image, y0, x0, win_h, win_w)
+        if window.shape[0] < h or window.shape[1] < w:
+            continue
+        local = match_pattern(window, pattern, zero_mean=zero_mean)
+        if local.score > best.score:
+            best = MatchResult(score=local.score, y=y0 + local.y, x=x0 + local.x)
+    return best
 
 
 def pyramid_match(
@@ -64,42 +130,21 @@ def pyramid_match(
         raise ValueError(f"factor must be >= 1, got {factor}")
     if candidates < 1:
         raise ValueError(f"candidates must be >= 1, got {candidates}")
-    h, w = pattern.shape
-    coarse_ok = (
-        factor > 1
-        and min(h, w) // factor >= _MIN_COARSE_SIDE
-        and image.shape[0] // factor > h // factor
-        and image.shape[1] // factor > w // factor
-    )
-    if not coarse_ok:
+    if not _coarse_ok(image.shape, pattern.shape, factor):
         return match_pattern(image, pattern, zero_mean=zero_mean)
 
     coarse_image = downsample(image, factor)
     coarse_pattern = downsample(pattern, factor)
     coarse_resp = ncc_map(coarse_image, coarse_pattern, zero_mean=zero_mean)
-    min_dist = max(1, min(coarse_pattern.shape) // 2)
-    peaks = _top_k_peaks(coarse_resp, candidates, min_dist)
+    peaks = _top_k_peaks(
+        coarse_resp, candidates, _min_peak_distance(coarse_pattern.shape)
+    )
     if not peaks:
         return match_pattern(image, pattern, zero_mean=zero_mean)
 
     if margin is None:
         margin = factor
-    best = MatchResult(score=-1.0, y=0, x=0)
-    for cy, cx in peaks:
-        # Map the coarse peak back to full resolution and search a window
-        # of (pattern size + 2*margin) around it.
-        fy = cy * factor
-        fx = cx * factor
-        y0 = max(0, fy - margin)
-        x0 = max(0, fx - margin)
-        win_h = h + 2 * margin
-        win_w = w + 2 * margin
-        window = crop(image, y0, x0, win_h, win_w)
-        if window.shape[0] < h or window.shape[1] < w:
-            continue
-        local = match_pattern(window, pattern, zero_mean=zero_mean)
-        if local.score > best.score:
-            best = MatchResult(score=local.score, y=y0 + local.y, x=x0 + local.x)
+    best = _refine_peaks(image, pattern, peaks, factor, margin, zero_mean)
     if best.score < 0:
         return match_pattern(image, pattern, zero_mean=zero_mean)
     return best

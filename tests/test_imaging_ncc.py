@@ -72,6 +72,57 @@ class TestNccMap:
         np.testing.assert_allclose(resp, 0.0)
 
 
+class TestNccEdgeCases:
+    """Paths previously guarded only by ``_ENERGY_EPS``."""
+
+    def test_pattern_equal_to_image_gives_single_response(self, rng):
+        image = rng.random((9, 13)) + 0.05
+        resp = ncc_map(image, image)
+        assert resp.shape == (1, 1)
+        assert resp[0, 0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_all_zero_image_scores_zero(self, rng):
+        pattern = rng.random((4, 4)) + 0.1
+        for zero_mean in (False, True):
+            resp = ncc_map(np.zeros((15, 15)), pattern, zero_mean=zero_mean)
+            assert np.isfinite(resp).all()
+            assert resp.max() <= 1e-6
+
+    def test_all_zero_pattern_scores_zero(self, rng):
+        for zero_mean in (False, True):
+            resp = ncc_map(rng.random((15, 15)), np.zeros((4, 4)),
+                           zero_mean=zero_mean)
+            np.testing.assert_allclose(resp, 0.0)
+
+    def test_all_zero_image_and_pattern_scores_zero(self):
+        resp = ncc_map(np.zeros((10, 10)), np.zeros((3, 3)))
+        np.testing.assert_allclose(resp, 0.0)
+
+    def test_constant_image_zero_mean_scores_zero(self, rng):
+        """Flat windows have zero variance; the eps guard must kick in."""
+        resp = ncc_map(np.full((14, 14), 0.5), rng.random((5, 5)),
+                       zero_mean=True)
+        assert np.isfinite(resp).all()
+        assert resp.max() <= 1e-6
+
+    def test_non_float_inputs_coerced_via_as_image(self, rng):
+        image = rng.integers(0, 256, (20, 20))
+        pattern = rng.integers(0, 256, (5, 5))
+        for zero_mean in (False, True):
+            from_int = ncc_map(image.astype(np.uint8), pattern.astype(np.uint8),
+                               zero_mean=zero_mean)
+            from_float = ncc_map(image.astype(np.float64),
+                                 pattern.astype(np.float64),
+                                 zero_mean=zero_mean)
+            assert from_int.dtype == np.float64
+            np.testing.assert_allclose(from_int, from_float, atol=1e-12)
+
+    def test_nested_list_input(self):
+        resp = ncc_map([[1, 0], [0, 1]], [[1]])
+        assert resp.shape == (2, 2)
+        assert resp.max() == pytest.approx(1.0, abs=1e-9)
+
+
 class TestMatchPattern:
     def test_finds_planted_location(self, rng):
         image = rng.random((40, 50)) * 0.2

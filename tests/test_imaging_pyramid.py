@@ -14,7 +14,7 @@ import pytest
 from scipy import ndimage
 
 from repro.imaging.ncc import match_pattern
-from repro.imaging.pyramid import PyramidMatcher, pyramid_match
+from repro.imaging.pyramid import PyramidMatcher, _top_k_peaks, pyramid_match
 
 
 def _smooth_scene(seed: int, offset: tuple[int, int],
@@ -92,6 +92,60 @@ class TestPyramidMatch:
         s_small = pyramid_match(image, pattern, factor=4, margin=2).score
         s_large = pyramid_match(image, pattern, factor=4, margin=8).score
         assert s_large >= s_small - 1e-12
+
+
+class TestTopKPeaks:
+    """Regression tests for non-maximum suppression symmetry."""
+
+    def test_two_near_peaks_one_suppressed(self):
+        """A second peak within min_distance of the first must be suppressed,
+        even when it lies ABOVE/LEFT of the first (the suppression window
+        must extend symmetrically in all four directions)."""
+        resp = np.zeros((21, 21))
+        resp[10, 10] = 1.0
+        resp[7, 7] = 0.9    # up-left, Chebyshev distance 3 -> suppressed
+        resp[10, 6] = 0.8   # left, distance 4 -> kept
+        peaks = _top_k_peaks(resp, k=3, min_distance=3)
+        assert peaks[0] == (10, 10)
+        assert (7, 7) not in peaks
+        assert (10, 6) in peaks
+
+    def test_suppression_symmetric_in_all_directions(self):
+        resp = np.zeros((25, 25))
+        resp[12, 12] = 1.0
+        # One contender per direction, all within the radius.
+        for y, x, v in [(9, 12, 0.9), (15, 12, 0.9), (12, 9, 0.9), (12, 15, 0.9)]:
+            resp[y, x] = v
+        peaks = _top_k_peaks(resp, k=5, min_distance=3)
+        assert peaks == [(12, 12)]
+
+    def test_peaks_respect_min_distance(self):
+        rng = np.random.default_rng(42)
+        resp = rng.random((30, 30))
+        min_distance = 4
+        peaks = _top_k_peaks(resp, k=6, min_distance=min_distance)
+        assert len(peaks) == 6
+        for i, (y1, x1) in enumerate(peaks):
+            for y2, x2 in peaks[i + 1:]:
+                assert max(abs(y1 - y2), abs(x1 - x2)) > min_distance
+
+    def test_border_peak_does_not_wrap(self):
+        """Suppression around a corner peak must clip, not wrap around."""
+        resp = np.zeros((15, 15))
+        resp[0, 0] = 1.0
+        resp[14, 14] = 0.9
+        peaks = _top_k_peaks(resp, k=2, min_distance=3)
+        assert peaks == [(0, 0), (14, 14)]
+
+    def test_two_planted_patterns_both_refined(self):
+        """End-to-end: two nearby copies of a pattern; the pyramid must keep
+        distinct candidates for both and still find a perfect match."""
+        image, pattern = _smooth_scene(13, (20, 20))
+        h, w = pattern.shape
+        image[20 : 20 + h, 36 : 36 + w] = pattern  # second copy, 16 px away
+        result = pyramid_match(image, pattern, factor=2, candidates=3)
+        assert result.score == pytest.approx(1.0, abs=1e-6)
+        assert result.y == 20 and result.x in (20, 36)
 
 
 class TestPyramidMatcher:

@@ -1,0 +1,211 @@
+"""Equivalence harness: batched ``MatchEngine`` ≡ naive per-call matching.
+
+The batched engine reorganizes the FFT work (shared image spectra, cached
+window statistics, integral-image energies) but must compute the *same*
+similarity matrix as the naive ``FeatureGenerationFunction`` double loop.
+These tests pin that contract across randomized image/pattern sizes, dtypes,
+flat-region edge cases, both NCC variants, exact and pyramid modes, and any
+``n_jobs`` setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import FeatureGenerator
+from repro.imaging.engine import MatchEngine
+from repro.imaging.pyramid import PyramidMatcher
+from repro.patterns import Pattern
+
+# The engine and the naive path use different FFT padding and different
+# window-sum algorithms, so scores differ by round-off only.
+TOL = 1e-6
+
+
+def _matcher(mode: str, zero_mean: bool, factor: int = 4) -> PyramidMatcher:
+    if mode == "exact":
+        return PyramidMatcher(enabled=False, zero_mean=zero_mean)
+    return PyramidMatcher(factor=factor, zero_mean=zero_mean)
+
+
+def _naive_values(images, patterns, matcher) -> np.ndarray:
+    fg = FeatureGenerator(patterns, matcher, strategy="naive")
+    return fg.transform_images(images).values
+
+
+def _batched_values(images, patterns, matcher, n_jobs: int = 1) -> np.ndarray:
+    fg = FeatureGenerator(patterns, matcher, n_jobs=n_jobs)
+    return fg.transform_images(images).values
+
+
+def _random_case(seed: int):
+    """A randomized workload: mixed image shapes/dtypes, mixed pattern shapes.
+
+    Pattern sizes deliberately straddle the pyramid-eligibility boundary
+    (min side 12 at factor 4) and occasionally exceed an image axis so the
+    oversized-shrink path is exercised; one pattern is planted into one
+    image so near-1.0 scores appear alongside background noise.
+    """
+    rng = np.random.default_rng(seed)
+    images = []
+    for i in range(int(rng.integers(2, 5))):
+        shape = (int(rng.integers(24, 64)), int(rng.integers(24, 64)))
+        image = rng.random(shape)
+        if i % 3 == 1:
+            image = image.astype(np.float32)
+        elif i % 3 == 2:
+            image = rng.integers(0, 256, shape)  # non-float input
+        images.append(image)
+    patterns = []
+    for _ in range(int(rng.integers(3, 7))):
+        shape = (int(rng.integers(3, 30)), int(rng.integers(3, 30)))
+        patterns.append(Pattern(array=rng.random(shape)))
+    # Plant the first pattern into the first image (both float64 here).
+    ph, pw = patterns[0].shape
+    target = images[0]
+    if ph <= target.shape[0] and pw <= target.shape[1]:
+        target[:ph, :pw] = patterns[0].array
+    return images, patterns
+
+
+class TestRandomizedEquivalence:
+    """20 randomized cases spanning both modes and both NCC variants."""
+
+    @pytest.mark.parametrize("mode", ["exact", "pyramid"])
+    @pytest.mark.parametrize("zero_mean", [False, True])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_batched_matches_naive(self, mode, zero_mean, seed):
+        images, patterns = _random_case(seed * 17 + (mode == "pyramid"))
+        matcher = _matcher(mode, zero_mean)
+        naive = _naive_values(images, patterns, matcher)
+        batched = _batched_values(images, patterns, matcher)
+        np.testing.assert_allclose(batched, naive, rtol=0, atol=TOL)
+
+    @pytest.mark.parametrize("factor", [2, 3])
+    def test_other_pyramid_factors(self, factor):
+        images, patterns = _random_case(101 + factor)
+        matcher = PyramidMatcher(factor=factor)
+        naive = _naive_values(images, patterns, matcher)
+        batched = _batched_values(images, patterns, matcher)
+        np.testing.assert_allclose(batched, naive, rtol=0, atol=TOL)
+
+
+class TestEdgeCaseEquivalence:
+    @pytest.mark.parametrize("mode", ["exact", "pyramid"])
+    @pytest.mark.parametrize("zero_mean", [False, True])
+    def test_flat_images(self, mode, zero_mean, rng):
+        """All-zero and constant images: flat windows must score ~0, not NaN."""
+        images = [np.zeros((30, 30)), np.full((30, 30), 0.5)]
+        patterns = [Pattern(array=rng.random((8, 8))),
+                    Pattern(array=np.zeros((5, 5))),
+                    Pattern(array=np.full((13, 13), 0.7))]
+        matcher = _matcher(mode, zero_mean)
+        naive = _naive_values(images, patterns, matcher)
+        batched = _batched_values(images, patterns, matcher)
+        assert np.isfinite(batched).all()
+        np.testing.assert_allclose(batched, naive, rtol=0, atol=TOL)
+
+    def test_pattern_equal_to_image_size(self, rng):
+        """A pattern covering the whole image yields a 1x1 response."""
+        image = rng.random((16, 16))
+        patterns = [Pattern(array=image.copy()), Pattern(array=rng.random((16, 16)))]
+        for zero_mean in (False, True):
+            matcher = _matcher("exact", zero_mean)
+            batched = _batched_values([image], patterns, matcher)
+            naive = _naive_values([image], patterns, matcher)
+            np.testing.assert_allclose(batched, naive, rtol=0, atol=TOL)
+            assert batched[0, 0] == pytest.approx(1.0, abs=TOL)
+
+    def test_oversized_patterns_shrunk_identically(self, rng):
+        """Patterns larger than the image follow the FGF shrink-to-fit rule."""
+        images = [rng.random((20, 26)), rng.random((34, 18))]
+        patterns = [Pattern(array=rng.random((25, 12))),
+                    Pattern(array=rng.random((40, 40)))]
+        for mode in ("exact", "pyramid"):
+            matcher = _matcher(mode, zero_mean=False)
+            naive = _naive_values(images, patterns, matcher)
+            batched = _batched_values(images, patterns, matcher)
+            np.testing.assert_allclose(batched, naive, rtol=0, atol=TOL)
+
+    def test_single_image_single_pattern(self, rng):
+        matcher = PyramidMatcher()
+        image = rng.random((40, 40))
+        pattern = Pattern(array=rng.random((12, 12)))
+        batched = _batched_values([image], [pattern], matcher)
+        expected = matcher(image, pattern.array).score
+        assert batched[0, 0] == pytest.approx(expected, abs=TOL)
+
+
+class TestMatchEngineApi:
+    def test_engine_scores_match_per_call_matcher(self, rng):
+        matcher = PyramidMatcher(factor=2)
+        engine = MatchEngine(matcher)
+        images = [rng.random((32, 40)) for _ in range(3)]
+        patterns = [rng.random((7, 7)), rng.random((14, 14))]
+        scores = engine.score_matrix(images, patterns)
+        for i, image in enumerate(images):
+            for j, pattern in enumerate(patterns):
+                assert scores[i, j] == pytest.approx(
+                    matcher(image, pattern).score, abs=TOL
+                )
+
+    def test_empty_inputs_rejected(self, rng):
+        engine = MatchEngine()
+        with pytest.raises(ValueError):
+            engine.score_matrix([], [rng.random((4, 4))])
+        with pytest.raises(ValueError):
+            engine.score_matrix([rng.random((8, 8))], [])
+
+    def test_invalid_n_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            MatchEngine(n_jobs=0)
+        with pytest.raises(ValueError):
+            MatchEngine(n_jobs=-2)
+
+    def test_invalid_matcher_config_rejected(self):
+        """The naive path raises per call; the engine must not silently
+        degrade the same misconfiguration to exact matching."""
+        with pytest.raises(ValueError, match="factor"):
+            MatchEngine(PyramidMatcher(factor=0))
+        with pytest.raises(ValueError, match="candidates"):
+            MatchEngine(PyramidMatcher(candidates=0))
+        # Disabled matcher never consults factor/candidates — naive parity.
+        MatchEngine(PyramidMatcher(enabled=False, factor=0))
+
+    def test_invalid_strategy_rejected(self, toy_patterns):
+        with pytest.raises(ValueError):
+            FeatureGenerator(toy_patterns, strategy="turbo")
+
+    def test_config_n_jobs_wiring(self, toy_patterns):
+        """``InspectorGadgetConfig.n_jobs`` validates and reaches the engine."""
+        from repro.core.config import InspectorGadgetConfig
+
+        with pytest.raises(ValueError):
+            InspectorGadgetConfig(n_jobs=0)
+        with pytest.raises(ValueError):
+            InspectorGadgetConfig(n_jobs=-3)
+        config = InspectorGadgetConfig(n_jobs=2)
+        fg = FeatureGenerator(toy_patterns, config.matcher, n_jobs=config.n_jobs)
+        assert fg.engine.n_jobs == 2
+        assert MatchEngine(n_jobs=-1).n_jobs >= 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("mode", ["exact", "pyramid"])
+    def test_n_jobs_byte_identical(self, mode):
+        """Same inputs => byte-identical values regardless of parallelism."""
+        images, patterns = _random_case(202)
+        matcher = _matcher(mode, zero_mean=False)
+        serial = _batched_values(images, patterns, matcher, n_jobs=1)
+        threaded = _batched_values(images, patterns, matcher, n_jobs=4)
+        all_cpus = _batched_values(images, patterns, matcher, n_jobs=-1)
+        assert serial.tobytes() == threaded.tobytes()
+        assert serial.tobytes() == all_cpus.tobytes()
+
+    def test_repeated_calls_identical(self, rng, toy_patterns):
+        fg = FeatureGenerator(toy_patterns, n_jobs=2)
+        images = [rng.random((30, 30)) for _ in range(5)]
+        a = fg.transform_images(images).values
+        b = fg.transform_images(images).values
+        assert a.tobytes() == b.tobytes()
