@@ -1,0 +1,85 @@
+"""Artifact-cache benchmark: cold vs warm fit through the staged pipeline.
+
+The staged pipeline fingerprints every stage output (crowd result,
+augmented patterns, dev feature matrix, fitted labeler) into an on-disk
+artifact store.  This benchmark measures the payoff: a cold ``fit`` that
+executes all four stages, a warm re-``fit`` that loads all of them, and a
+partial re-``fit`` with a changed augmentation config that reuses only the
+crowd stage — the exact reuse pattern of the Figure 9-11 / Table 4 ablation
+sweeps.  Hit/miss counts and timings land in
+``benchmarks/results/pipeline_cache.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from _common import BENCH, emit
+from repro.core import ArtifactStore, InspectorGadget
+from repro.datasets.registry import make_dataset
+from repro.eval.experiments import build_ig_config
+from repro.utils.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def cache_workload():
+    profile = replace(BENCH, n_images=80, target_defective=8)
+    dataset = make_dataset("ksdd", scale=profile.scale, seed=0,
+                           n_images=profile.n_images)
+    return profile, dataset
+
+
+def _timed_fit(config, dataset, store):
+    ig = InspectorGadget(config, store=store)
+    t0 = time.perf_counter()
+    ig.fit(dataset)
+    return ig, time.perf_counter() - t0
+
+
+def test_pipeline_cache(cache_workload, tmp_path_factory):
+    profile, dataset = cache_workload
+    store = ArtifactStore(tmp_path_factory.mktemp("artifacts"))
+    config = build_ig_config(profile)
+
+    rows = []
+
+    def record(label, ig, seconds, baseline=None):
+        rows.append([
+            label,
+            seconds,
+            f"{baseline / seconds:.1f}x" if baseline else "--",
+            ig.last_run.n_executed,
+            ig.last_run.n_cached,
+            ", ".join(ig.last_run.cached) or "--",
+        ])
+
+    cold, cold_t = _timed_fit(config, dataset, store)
+    record("cold fit", cold, cold_t)
+    assert cold.last_run.n_executed == 4, "cold run must execute every stage"
+
+    warm, warm_t = _timed_fit(config, dataset, store)
+    record("warm fit (same config)", warm, warm_t, baseline=cold_t)
+    assert warm.last_run.n_executed == 0, "warm run must load every stage"
+    assert warm.last_report == cold.last_report
+
+    # Ablation-style partial reuse: a different augmentation setting keeps
+    # the (expensive) crowd stage cached and recomputes the rest.
+    ablate_cfg = build_ig_config(profile, mode="policy")
+    ablate, ablate_t = _timed_fit(ablate_cfg, dataset, store)
+    record("ablation fit (mode=policy)", ablate, ablate_t, baseline=cold_t)
+    assert ablate.last_run.cached == ["crowd"]
+
+    assert warm_t < cold_t, (
+        f"warm fit ({warm_t:.2f}s) should beat cold fit ({cold_t:.2f}s)"
+    )
+
+    emit("pipeline_cache", format_table(
+        ["Run", "Fit (s)", "Speedup", "Stages run", "Stages cached",
+         "Cached stages"],
+        rows,
+        title=f"Staged pipeline artifact cache (ksdd, {len(dataset)} images; "
+              f"store: {store.hits} hits / {store.misses} misses)",
+    ))

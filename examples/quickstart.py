@@ -1,25 +1,34 @@
 """Quickstart: weak-label a surface-defect dataset with Inspector Gadget.
 
 Generates a synthetic KSDD-style dataset (electrical commutators with crack
-defects), runs the full pipeline — simulated crowdsourcing, pattern
+defects), runs the full staged pipeline — simulated crowdsourcing, pattern
 augmentation, NCC feature generation, tuned MLP labeler — and scores the
 weak labels against the gold labels of the images the crowd never saw.
+Then it demonstrates the serving path: save the fitted profile, reload it,
+and re-fit against the artifact cache (every stage loads from disk).
 
 Run:  python examples/quickstart.py
 """
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
 
 from repro import InspectorGadget, InspectorGadgetConfig, f1_score, make_dataset
 from repro.augment import AugmentConfig, PolicySearchConfig, RGANConfig
 from repro.crowd import WorkflowConfig
 
 
-def main() -> None:
+def run(workdir: Path) -> None:
     # A scaled-down KSDD: 160 images, ~21 defective, at 1/10 resolution.
     dataset = make_dataset("ksdd", scale=0.1, seed=7, n_images=160)
     print(f"dataset: {dataset.name}, {len(dataset)} images "
           f"({dataset.n_defective} defective), shape {dataset.image_shape}")
 
     config = InspectorGadgetConfig(
+        # Cache stage outputs so re-fitting with this config is instant.
+        cache_dir=str(workdir / "artifacts"),
         # Crowd annotates random images until 10 defective ones are found.
         workflow=WorkflowConfig(n_workers=3, target_defective=10),
         # Light augmentation budgets so the example finishes in ~a minute.
@@ -54,6 +63,32 @@ def main() -> None:
     confident = weak.filter_confident(0.9)
     print(f"{len(confident)} of {len(weak)} weak labels have >= 0.9 "
           f"confidence — ready for end-model training")
+
+    # -- serving path: save the profile, reload, predict identically --------
+    profile_path = ig.save(workdir / "ksdd.igz")
+    server = InspectorGadget.load(profile_path)
+    served = server.predict(unlabeled)
+    identical = served.probs.tobytes() == weak.probs.tobytes()
+    print(f"saved profile to {profile_path} "
+          f"({profile_path.stat().st_size / 1024:.0f} KiB); reloaded "
+          f"predictions byte-identical: {identical}")
+
+    # -- artifact cache: an identical fit loads every stage from disk -------
+    t0 = time.time()
+    warm = InspectorGadget(config)
+    warm.fit(dataset)
+    print(f"warm re-fit in {time.time() - t0:.2f}s — "
+          f"{warm.last_run.n_cached} stages cached "
+          f"({', '.join(warm.last_run.cached)}), "
+          f"{warm.last_run.n_executed} executed")
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="ig-quickstart-"))
+    try:
+        run(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
 
 
 if __name__ == "__main__":

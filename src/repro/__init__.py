@@ -18,6 +18,7 @@ Quickstart::
     weak_labels = ig.predict(dataset)
 """
 
+from repro.core.artifacts import ArtifactStore
 from repro.core.config import InspectorGadgetConfig
 from repro.core.pipeline import FitReport, InspectorGadget
 from repro.datasets.registry import DATASET_NAMES, make_dataset
@@ -31,6 +32,7 @@ __all__ = [
     "InspectorGadget",
     "InspectorGadgetConfig",
     "FitReport",
+    "ArtifactStore",
     "make_dataset",
     "DATASET_NAMES",
     "f1_score",

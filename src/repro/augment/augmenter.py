@@ -18,7 +18,7 @@ from repro.imaging.pyramid import PyramidMatcher
 from repro.patterns import Pattern
 from repro.utils.rng import as_rng
 
-__all__ = ["AugmentConfig", "PatternAugmenter"]
+__all__ = ["AugmentConfig", "AugmentOutcome", "PatternAugmenter"]
 
 _MODES = ("none", "policy", "gan", "both")
 
@@ -45,6 +45,19 @@ class AugmentConfig:
             raise ValueError("pattern counts must be non-negative")
 
 
+@dataclass
+class AugmentOutcome:
+    """Everything one augmentation run produced.
+
+    ``patterns`` is the combined set (originals + synthesized);
+    ``policy_result`` is the learned policy ranking when the policy searcher
+    ran, kept so a cached augmentation round-trips the full augmenter state.
+    """
+
+    patterns: list[Pattern]
+    policy_result: PolicySearchResult | None = None
+
+
 class PatternAugmenter:
     """Runs the configured augmentations over a crowd-sourced pattern set."""
 
@@ -61,8 +74,8 @@ class PatternAugmenter:
         self._rng = as_rng(seed)
         self.policy_result: PolicySearchResult | None = None
 
-    def augment(self, patterns: list[Pattern], dev: Dataset) -> list[Pattern]:
-        """Return the combined pattern set: originals plus synthesized ones.
+    def run(self, patterns: list[Pattern], dev: Dataset) -> AugmentOutcome:
+        """Augment ``patterns`` and return the full outcome.
 
         The development set drives the policy search; GAN training uses only
         the patterns.  In ``both`` mode the two augmented sets are simply
@@ -85,4 +98,9 @@ class PatternAugmenter:
             augmented.extend(
                 gan_augment(patterns, cfg.n_gan, cfg.rgan, seed=self._rng)
             )
-        return augmented
+        return AugmentOutcome(patterns=augmented,
+                              policy_result=self.policy_result)
+
+    def augment(self, patterns: list[Pattern], dev: Dataset) -> list[Pattern]:
+        """The combined pattern set: originals plus synthesized ones."""
+        return self.run(patterns, dev).patterns

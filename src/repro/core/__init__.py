@@ -3,9 +3,41 @@
 Combines the crowdsourcing workflow, pattern augmenter, feature generator
 and tuned MLP labeler into one system that turns an unlabeled image pool
 plus a small annotation budget into weak labels at scale (Figures 2-3).
+
+The system runs as a staged pipeline (``repro.core.stages``): each component
+is a :class:`Stage` with declared inputs/outputs, driven by a
+:class:`PipelineRunner` over a content-addressed :class:`ArtifactStore`
+(``repro.core.artifacts``) so unchanged stages are reused across fits.
 """
 
+from repro.core.artifacts import ArtifactStore, fingerprint
 from repro.core.config import InspectorGadgetConfig
 from repro.core.pipeline import FitReport, InspectorGadget
+from repro.core.stages import (
+    AugmentStage,
+    CrowdStage,
+    FeatureStage,
+    LabelerStage,
+    PipelineContext,
+    PipelineRun,
+    PipelineRunner,
+    Stage,
+    StageExecution,
+)
 
-__all__ = ["InspectorGadget", "InspectorGadgetConfig", "FitReport"]
+__all__ = [
+    "InspectorGadget",
+    "InspectorGadgetConfig",
+    "FitReport",
+    "ArtifactStore",
+    "fingerprint",
+    "Stage",
+    "CrowdStage",
+    "AugmentStage",
+    "FeatureStage",
+    "LabelerStage",
+    "PipelineContext",
+    "PipelineRun",
+    "PipelineRunner",
+    "StageExecution",
+]

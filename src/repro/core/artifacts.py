@@ -1,0 +1,196 @@
+"""Content-addressed artifact store for pipeline stage outputs.
+
+Every stage output is addressed by a *fingerprint*: a SHA-256 digest of the
+stage's configuration, its position in the stage chain, and the content of
+everything it consumes (dataset images, crowd results, upstream stage
+fingerprints).  Two runs that would compute the same artifact therefore hash
+to the same key, and the second run loads the pickled artifact instead of
+recomputing it — this is what lets the ablation sweeps (Figures 9-11,
+Table 4) share one crowd run and one feature matrix across settings.
+
+:func:`fingerprint` canonicalizes the value kinds that appear in pipeline
+configs and artifacts — dataclasses, numpy arrays and scalars, containers,
+primitives — into a stable byte stream.  Unknown types raise instead of
+hashing their ``repr``, so a silently unstable key can never corrupt cache
+correctness.
+
+:class:`ArtifactStore` is deliberately dumb: flat directory of
+``<digest>.pkl`` files, atomic writes (temp file + ``os.replace``), corrupt
+or unreadable entries treated as misses.  Hit/miss counters feed the
+``pipeline_cache`` benchmark and the stage-execution assertions in the test
+suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["fingerprint", "ArtifactStore", "atomic_write"]
+
+# Bump to invalidate every previously written artifact (e.g. when a stage's
+# semantics change without its config changing).
+FORMAT_VERSION = 1
+
+
+def _update(h, obj) -> None:
+    """Feed one canonicalized value into the running hash.
+
+    Every branch writes a type tag before the payload so values of different
+    types can never collide ("1" vs 1 vs True), and containers write their
+    length so concatenations can't alias ([["a"], []] vs [[], ["a"]]).
+    """
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, (bool, np.bool_)):
+        h.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, (int, np.integer)):
+        h.update(b"I" + str(int(obj)).encode() + b";")
+    elif isinstance(obj, (float, np.floating)):
+        h.update(b"F" + float(obj).hex().encode() + b";")
+    elif isinstance(obj, str):
+        data = obj.encode()
+        h.update(b"S" + str(len(data)).encode() + b":" + data)
+    elif isinstance(obj, bytes):
+        h.update(b"Y" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, np.ndarray):
+        if obj.dtype.hasobject:
+            raise TypeError(
+                "cannot fingerprint object-dtype arrays: their raw bytes "
+                "are memory addresses, not content"
+            )
+        arr = np.ascontiguousarray(obj)
+        h.update(b"A" + str(arr.dtype).encode() + str(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(obj, (list, tuple)):
+        h.update((b"L" if isinstance(obj, list) else b"T")
+                 + str(len(obj)).encode() + b":")
+        for item in obj:
+            _update(h, item)
+    elif isinstance(obj, (dict,)):
+        keys = sorted(obj, key=repr)
+        h.update(b"D" + str(len(keys)).encode() + b":")
+        for key in keys:
+            _update(h, key)
+            _update(h, obj[key])
+    elif inspect.isroutine(obj):
+        # Functions appear in configs as named operations (e.g. PolicyOp's
+        # apply); their stable identity is where they live, not their bytes.
+        # Lambdas have no such identity (every one is '<lambda>' and edits
+        # to the body are invisible), so they must not be hashable here.
+        if "<lambda>" in obj.__qualname__:
+            raise TypeError(
+                "cannot fingerprint lambdas: they have no stable identity; "
+                "use a named module-level function"
+            )
+        h.update(b"R" + f"{obj.__module__}.{obj.__qualname__}".encode() + b";")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        h.update(b"C" + f"{cls.__module__}.{cls.__qualname__}".encode() + b":")
+        for f in dataclasses.fields(obj):
+            _update(h, f.name)
+            _update(h, getattr(obj, f.name))
+    else:
+        raise TypeError(
+            f"cannot fingerprint object of type {type(obj).__name__}; "
+            "supported kinds are primitives, numpy arrays/scalars, "
+            "lists/tuples/dicts and dataclasses"
+        )
+
+
+def fingerprint(obj) -> str:
+    """Stable SHA-256 hex digest of ``obj``'s content.
+
+    Equal content always yields equal digests across processes and sessions
+    (no ``id()``, no ``hash()`` randomization); any content difference —
+    a config field, an image pixel, a container length — changes the digest.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-artifact-v" + str(FORMAT_VERSION).encode() + b";")
+    _update(h, obj)
+    return h.hexdigest()
+
+
+def atomic_write(target: Path, write_fn) -> Path:
+    """Write a file via temp-file + rename so readers never see a torn write.
+
+    ``write_fn`` receives the open binary file object.  On any failure the
+    temp file is removed and ``target`` is left exactly as it was — an
+    interrupted write can never clobber a previously good file.
+    """
+    fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            write_fn(fh)
+        os.replace(tmp, target)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return target
+
+
+class ArtifactStore:
+    """Disk cache mapping fingerprints to pickled stage payloads.
+
+    The store never interprets payloads; correctness lives entirely in the
+    fingerprint that addresses them.  Reads of missing/corrupt entries
+    return ``None`` (and count as misses) so a damaged cache degrades to
+    recomputation, never to an error or a wrong result.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def load(self, key: str):
+        """The payload stored under ``key``, or ``None`` on a miss."""
+        target = self.path(key)
+        try:
+            with open(target, "rb") as fh:
+                payload = pickle.load(fh)
+        except Exception:
+            # Unpickling a stale entry can raise nearly anything (missing
+            # modules after a refactor, __setstate__ errors, truncation);
+            # all of it means "not usable", i.e. a miss.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def save(self, key: str, payload) -> Path:
+        """Atomically persist ``payload`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        return atomic_write(
+            self.path(key),
+            lambda fh: pickle.dump(payload, fh,
+                                   protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every stored artifact; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.pkl"):
+                entry.unlink()
+                removed += 1
+        return removed

@@ -23,6 +23,17 @@ class InspectorGadgetConfig:
     ``n_jobs`` parallelises batched feature generation over images
     (``-1`` = one thread per CPU); it never changes results — the match
     engine's output is byte-identical for any ``n_jobs``.
+
+    ``cache_dir`` enables the content-addressed artifact store: stage
+    outputs (crowd result, augmented patterns, dev feature matrix, fitted
+    labeler) are fingerprinted and persisted there, so re-running ``fit``
+    with an unchanged configuration loads every stage from disk instead of
+    recomputing — with byte-identical results either way.  ``None`` (the
+    default) disables caching entirely.
+
+    ``predict_batch_size`` chunks inference through the match engine so
+    serving arbitrarily large image batches keeps bounded memory; like
+    ``n_jobs`` and ``cache_dir`` it never changes results, only execution.
     """
 
     workflow: WorkflowConfig = field(default_factory=WorkflowConfig)
@@ -35,6 +46,8 @@ class InspectorGadgetConfig:
     labeler_max_iter: int = 150
     default_hidden: tuple[int, ...] = (8,)
     seed: int = 0
+    cache_dir: str | None = None
+    predict_batch_size: int = 64
 
     def __post_init__(self) -> None:
         if self.n_jobs != -1 and self.n_jobs < 1:
@@ -43,3 +56,5 @@ class InspectorGadgetConfig:
             raise ValueError("tune_max_layers must be >= 1")
         if self.labeler_max_iter < 1:
             raise ValueError("labeler_max_iter must be >= 1")
+        if self.predict_batch_size < 1:
+            raise ValueError("predict_batch_size must be >= 1")

@@ -147,8 +147,13 @@ def build_ig_config(
     n_policy: int | None = None,
     n_gan: int | None = None,
     seed: int | None = None,
+    cache_dir: str | None = None,
 ) -> InspectorGadgetConfig:
-    """Translate a profile into an Inspector Gadget configuration."""
+    """Translate a profile into an Inspector Gadget configuration.
+
+    ``cache_dir`` turns on the artifact store, letting sweep runs that share
+    settings (the Figure 9-11 grids) reuse cached stages automatically.
+    """
     return InspectorGadgetConfig(
         workflow=WorkflowConfig(n_workers=profile.workflow_workers,
                                 target_defective=profile.target_defective),
@@ -167,6 +172,7 @@ def build_ig_config(
         tune=profile.tune,
         labeler_max_iter=profile.labeler_max_iter,
         seed=profile.seed if seed is None else seed,
+        cache_dir=cache_dir,
     )
 
 
@@ -176,10 +182,11 @@ def run_inspector_gadget(
     n_policy: int | None = None,
     n_gan: int | None = None,
     seed: int | None = None,
+    cache_dir: str | None = None,
 ) -> tuple[float, InspectorGadget]:
     """Fit IG from the context's crowd result; return (test F1, pipeline)."""
     config = build_ig_config(ctx.profile, mode=mode, n_policy=n_policy,
-                             n_gan=n_gan, seed=seed)
+                             n_gan=n_gan, seed=seed, cache_dir=cache_dir)
     ig = InspectorGadget(config)
     ig.fit_from_crowd(ctx.crowd, task=ctx.dataset.task,
                       n_classes=ctx.dataset.n_classes)

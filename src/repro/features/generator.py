@@ -97,10 +97,24 @@ class FeatureGenerator:
         self.fgfs = [FeatureGenerationFunction(p, self.matcher) for p in patterns]
         self.patterns = patterns
 
-    def transform_images(self, images: list[np.ndarray]) -> FeatureMatrix:
-        """Compute the (len(images), n_patterns) similarity matrix."""
+    def transform_images(
+        self, images: list[np.ndarray], batch_size: int | None = None
+    ) -> FeatureMatrix:
+        """Compute the (len(images), n_patterns) similarity matrix.
+
+        ``batch_size`` streams images through the match engine in slices of
+        that many rows (the engine still builds its per-shape matching plan
+        only once), bounding transient serving state on large batches.  Each
+        image's row is computed independently, so chunking never changes the
+        output — the result is byte-identical for any ``batch_size``.
+        """
         if not images:
-            raise ValueError("no images to transform")
+            raise ValueError(
+                "transform_images received an empty image list; provide at "
+                "least one 2-D image array"
+            )
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if self.strategy == "naive":
             values = np.empty((len(images), len(self.fgfs)))
             for i, image in enumerate(images):
@@ -108,13 +122,16 @@ class FeatureGenerator:
                     values[i, j] = fgf(image)
         else:
             values = self.engine.score_matrix(
-                images, [p.array for p in self.patterns]
+                images, [p.array for p in self.patterns],
+                batch_size=batch_size,
             )
         return FeatureMatrix(
             values=values,
             pattern_labels=np.array([p.label for p in self.patterns]),
         )
 
-    def transform(self, dataset: Dataset) -> FeatureMatrix:
+    def transform(self, dataset: Dataset,
+                  batch_size: int | None = None) -> FeatureMatrix:
         """Convenience wrapper over :meth:`transform_images` for a dataset."""
-        return self.transform_images([item.image for item in dataset.images])
+        return self.transform_images([item.image for item in dataset.images],
+                                     batch_size=batch_size)

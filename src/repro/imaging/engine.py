@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -211,39 +212,65 @@ class MatchEngine:
     # -- public API ----------------------------------------------------------
 
     def score_matrix(
-        self, images: list[np.ndarray], patterns: list[np.ndarray]
+        self,
+        images: list[np.ndarray],
+        patterns: list[np.ndarray],
+        batch_size: int | None = None,
     ) -> np.ndarray:
-        """Best-match scores of every pattern in every image: ``(n, p)``."""
+        """Best-match scores of every pattern in every image: ``(n, p)``.
+
+        ``batch_size`` processes each shape group's images in slices of at
+        most that many rows: only one slice is materialized as float64 and
+        in flight at a time, so streaming a very large image list keeps
+        working memory bounded by the slice (plus the output matrix).  The
+        per-shape matching plan is built once and reused across all slices,
+        and every row is computed independently, so the output is
+        byte-identical for any ``batch_size``.
+        """
         if not images:
             raise ValueError("no images to match")
         if not patterns:
             raise ValueError("no patterns to match")
-        images = [as_image(im) for im in images]
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         patterns = [as_image(p) for p in patterns]
         out = np.empty((len(images), len(patterns)))
 
+        # Group by shape without converting: the float64 copies are made
+        # per batch slice below, which is what bounds serving memory.
         by_shape: dict[tuple[int, int], list[int]] = {}
         for i, im in enumerate(images):
-            by_shape.setdefault(im.shape, []).append(i)
+            if np.ndim(im) != 2:
+                raise ValueError(
+                    f"expected a 2-D image array, got shape {np.shape(im)}"
+                )
+            by_shape.setdefault(np.shape(im), []).append(i)
 
         for shape, indices in by_shape.items():
             plan = self._plan(shape, patterns)
-            workers = min(self.n_jobs, len(indices))
-            if workers <= 1:
-                for i in indices:
-                    out[i] = self._score_row(images[i], plan)
-            else:
-                bounds = np.linspace(0, len(indices), workers + 1).astype(int)
-                chunks = [
-                    indices[bounds[c] : bounds[c + 1]] for c in range(workers)
-                ]
+            step = len(indices) if batch_size is None else batch_size
+            workers = min(self.n_jobs, min(step, len(indices)))
+            with ThreadPoolExecutor(max_workers=workers) if workers > 1 \
+                    else nullcontext() as pool:
+                for start in range(0, len(indices), step):
+                    batch = indices[start : start + step]
+                    converted = {i: as_image(images[i]) for i in batch}
 
-                def run_chunk(chunk: list[int]) -> None:
-                    for i in chunk:
-                        out[i] = self._score_row(images[i], plan)
+                    def run_chunk(chunk: list[int]) -> None:
+                        for i in chunk:
+                            out[i] = self._score_row(converted[i], plan)
 
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    # list() re-raises any worker exception.
+                    if pool is None:
+                        run_chunk(batch)
+                        continue
+                    w = min(workers, len(batch))
+                    bounds = np.linspace(0, len(batch), w + 1).astype(int)
+                    chunks = [
+                        batch[bounds[c] : bounds[c + 1]] for c in range(w)
+                    ]
+                    # list() re-raises any worker exception; the map is
+                    # drained before the next slice, so at most one slice's
+                    # conversions and rows are in flight.
                     list(pool.map(run_chunk, chunks))
         return out
 

@@ -198,6 +198,55 @@ class MLPLabeler:
                 best_t, best_f1 = float(t), f1
         self._threshold = best_t
 
+    # -- persistence ---------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Everything needed to reconstruct this labeler for serving.
+
+        The payload is plain data (primitives + numpy arrays): constructor
+        hyperparameters, the trained weights, and the fitted preprocessing
+        (standardization statistics and decision threshold).
+        """
+        return {
+            "input_dim": self.input_dim,
+            "hidden": self.hidden,
+            "n_classes": self.n_classes,
+            "balanced": self.balanced,
+            "restarts": self.restarts,
+            "max_iter": self.trainer.max_iter,
+            "l2": self.trainer.l2,
+            "patience": self.trainer.patience,
+            "state": self.network.state_copy(),
+            "mu": None if self._mu is None else self._mu.copy(),
+            "sigma": None if self._sigma is None else self._sigma.copy(),
+            "threshold": self._threshold,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MLPLabeler":
+        """Rebuild a labeler from :meth:`to_payload` output.
+
+        The restored labeler predicts byte-identically to the saved one
+        (same weights, same standardization, same threshold).
+        """
+        labeler = cls(
+            input_dim=payload["input_dim"],
+            hidden=payload["hidden"],
+            n_classes=payload["n_classes"],
+            seed=0,
+            max_iter=payload["max_iter"],
+            l2=payload["l2"],
+            patience=payload["patience"],
+            balanced=payload["balanced"],
+            restarts=payload["restarts"],
+        )
+        labeler.network.load_state(payload["state"])
+        labeler.network.set_training(False)
+        labeler._mu = payload["mu"]
+        labeler._sigma = payload["sigma"]
+        labeler._threshold = payload["threshold"]
+        return labeler
+
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Class probabilities of shape (n, n_classes)."""
         xs = self._standardize(self._check_x(x))

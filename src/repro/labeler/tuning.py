@@ -97,6 +97,29 @@ class TuningResult:
     scores: dict[tuple[int, ...], float] = field(default_factory=dict)
     labeler: MLPLabeler | None = None
 
+    def to_payload(self) -> dict:
+        """The search outcome as plain data, without the fitted labeler.
+
+        The labeler is serialized separately (it is the pipeline's serving
+        state); the payload keeps the provenance of how it was chosen.
+        """
+        return {
+            "best_hidden": self.best_hidden,
+            "best_score": self.best_score,
+            "scores": dict(self.scores),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict,
+                     labeler: MLPLabeler | None = None) -> "TuningResult":
+        """Rebuild a result from :meth:`to_payload`, reattaching ``labeler``."""
+        return cls(
+            best_hidden=tuple(payload["best_hidden"]),
+            best_score=payload["best_score"],
+            scores={tuple(k): v for k, v in payload["scores"].items()},
+            labeler=labeler,
+        )
+
 
 def _stratified_holdout(
     y: np.ndarray, n_val: int, rng: np.random.Generator
