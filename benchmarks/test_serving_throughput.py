@@ -1,0 +1,127 @@
+"""Serving throughput benchmark: imgs/sec vs worker count (1 → N scaling).
+
+Fits one profile on the bench KSDD workload, saves it, then serves a fixed
+image stream through :class:`repro.serving.ServingPool` at 1, 2 and 4
+workers, measuring end-to-end labeled images per second (micro-batched
+dispatch, feature workers, parent-side labeler).  A single-process
+``InspectorGadget.load(...).predict`` pass anchors the curve, and every
+pool pass is checked byte-identical to it — the throughput numbers are
+meaningless if the answers drift.
+
+Scaling expectations are hardware-honest: on a machine with >= 4 usable
+cores the 4-worker pool must reach >= 2x the 1-worker pool (the acceptance
+bar); on fewer cores that is physically impossible for CPU-bound matching,
+so the gate degrades to an overhead bound (the pool must stay within a
+constant factor of single-worker throughput) and the table records the
+core count the curve was measured on.
+
+Results land in ``benchmarks/results/serving_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from _common import BENCH, emit
+from repro.core.pipeline import InspectorGadget
+from repro.datasets.registry import make_dataset
+from repro.eval.experiments import build_ig_config
+from repro.serving import ServingPool
+from repro.utils.tables import format_table
+
+WORKER_COUNTS = (1, 2, 4)
+STREAM_LEN = 96  # images per measured pass
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def serving_workload(tmp_path_factory):
+    """A saved profile plus the image stream every pool serves."""
+    profile = replace(BENCH, n_images=60, target_defective=6)
+    dataset = make_dataset("ksdd", scale=profile.scale, seed=0,
+                           n_images=profile.n_images)
+    config = build_ig_config(profile, mode="none")
+    ig = InspectorGadget(config)
+    ig.fit(dataset)
+    path = ig.save(tmp_path_factory.mktemp("serving") / "bench.igz")
+
+    pool_images = [item.image for item in dataset.images]
+    stream = [pool_images[i % len(pool_images)] for i in range(STREAM_LEN)]
+    return path, dataset.image_shape, stream
+
+
+def _timed_pass(predict, stream) -> float:
+    t0 = time.perf_counter()
+    predict(stream)
+    return time.perf_counter() - t0
+
+
+def test_serving_throughput(serving_workload):
+    profile_path, image_shape, stream = serving_workload
+    cpus = _usable_cpus()
+
+    # Single-process anchor (and the byte-identity reference).
+    single = InspectorGadget.load(profile_path)
+    single.predict(stream[:8])  # warm numpy/scipy code paths
+    single_t = min(_timed_pass(single.predict, stream) for _ in range(2))
+    expected = single.predict(stream).probs.tobytes()
+
+    rows = []
+    throughput: dict[int, float] = {}
+    single_thr = len(stream) / single_t
+    rows.append(["single-process", f"{single_thr:.1f}", "--", "--"])
+
+    for workers in WORKER_COUNTS:
+        with ServingPool(profile_path, workers=workers, max_batch=8,
+                         max_wait_ms=0.0,
+                         warmup_shapes=(image_shape,)) as pool:
+            pool.predict(stream[:8])  # warm the dispatch path
+            elapsed = min(_timed_pass(pool.predict, stream)
+                          for _ in range(2))
+            served = pool.predict(stream)
+            assert served.probs.tobytes() == expected, (
+                f"{workers}-worker pool output diverged from single-process"
+            )
+        throughput[workers] = len(stream) / elapsed
+        scale = throughput[workers] / throughput[WORKER_COUNTS[0]]
+        rows.append([
+            f"pool, {workers} worker{'s' if workers > 1 else ''}",
+            f"{throughput[workers]:.1f}",
+            f"{scale:.2f}x",
+            f"{scale / workers:.2f}",
+        ])
+
+    emit("serving_throughput", format_table(
+        ["Configuration", "imgs/sec", "vs 1 worker", "efficiency"],
+        rows,
+        title=f"Serving throughput (ksdd bench profile, {len(stream)} images "
+              f"per pass, max_batch=8; {cpus} usable core(s))",
+    ))
+
+    if cpus >= 4:
+        assert throughput[4] >= 2.0 * throughput[1], (
+            f"4 workers reached only {throughput[4] / throughput[1]:.2f}x "
+            f"of 1-worker throughput on {cpus} cores (acceptance bar: 2x)"
+        )
+    elif cpus >= 2:
+        assert throughput[2] >= 1.3 * throughput[1], (
+            f"2 workers reached only {throughput[2] / throughput[1]:.2f}x "
+            f"of 1-worker throughput on {cpus} cores"
+        )
+    else:
+        # One core: scaling is impossible, but pool overhead (IPC, pickling,
+        # dispatch) must stay within a constant factor of one worker.
+        assert throughput[4] >= 0.35 * throughput[1], (
+            f"4-worker pool fell to {throughput[4] / throughput[1]:.2f}x of "
+            "1-worker throughput — dispatch overhead is out of hand"
+        )

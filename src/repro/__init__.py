@@ -19,7 +19,7 @@ Quickstart::
 """
 
 from repro.core.artifacts import ArtifactStore
-from repro.core.config import InspectorGadgetConfig
+from repro.core.config import InspectorGadgetConfig, ServingConfig
 from repro.core.pipeline import FitReport, InspectorGadget
 from repro.datasets.registry import DATASET_NAMES, make_dataset
 from repro.eval.metrics import f1_score
@@ -31,6 +31,7 @@ __version__ = "1.0.0"
 __all__ = [
     "InspectorGadget",
     "InspectorGadgetConfig",
+    "ServingConfig",
     "FitReport",
     "ArtifactStore",
     "make_dataset",

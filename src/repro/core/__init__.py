@@ -11,8 +11,15 @@ is a :class:`Stage` with declared inputs/outputs, driven by a
 """
 
 from repro.core.artifacts import ArtifactStore, fingerprint
-from repro.core.config import InspectorGadgetConfig
-from repro.core.pipeline import FitReport, InspectorGadget
+from repro.core.config import InspectorGadgetConfig, ServingConfig
+from repro.core.pipeline import (
+    FitReport,
+    InspectorGadget,
+    ProfileCorruptError,
+    ProfileError,
+    ProfileFormatError,
+    ProfileVersionError,
+)
 from repro.core.stages import (
     AugmentStage,
     CrowdStage,
@@ -28,7 +35,12 @@ from repro.core.stages import (
 __all__ = [
     "InspectorGadget",
     "InspectorGadgetConfig",
+    "ServingConfig",
     "FitReport",
+    "ProfileError",
+    "ProfileFormatError",
+    "ProfileCorruptError",
+    "ProfileVersionError",
     "ArtifactStore",
     "fingerprint",
     "Stage",

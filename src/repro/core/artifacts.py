@@ -16,7 +16,8 @@ correctness.
 
 :class:`ArtifactStore` is deliberately dumb: flat directory of
 ``<digest>.pkl`` files, atomic writes (temp file + ``os.replace``), corrupt
-or unreadable entries treated as misses.  Hit/miss counters feed the
+or unreadable entries treated as misses, optional size-bounded LRU
+eviction (``max_bytes``).  Hit/miss counters feed the
 ``pipeline_cache`` benchmark and the stage-execution assertions in the test
 suite.
 """
@@ -144,12 +145,25 @@ class ArtifactStore:
     fingerprint that addresses them.  Reads of missing/corrupt entries
     return ``None`` (and count as misses) so a damaged cache degrades to
     recomputation, never to an error or a wrong result.
+
+    ``max_bytes`` bounds the on-disk footprint: every ``save`` that pushes
+    the store past the budget evicts least-recently-used entries (recency
+    is the file mtime, refreshed on every hit) until the store fits again.
+    The just-written artifact is never evicted, even when it exceeds the
+    budget by itself — a store that cannot retain the artifact it was just
+    asked to keep would silently disable caching.  Eviction is safe by the
+    same argument as corruption: a future read of an evicted key is a miss
+    and the stage recomputes.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
@@ -166,17 +180,56 @@ class ArtifactStore:
             # all of it means "not usable", i.e. a miss.
             self.misses += 1
             return None
+        try:
+            # Mark recency for LRU eviction; best-effort (a read-only
+            # store is still a working cache, just with FIFO eviction).
+            os.utime(target)
+        except OSError:
+            pass
         self.hits += 1
         return payload
 
     def save(self, key: str, payload) -> Path:
-        """Atomically persist ``payload`` under ``key``."""
+        """Atomically persist ``payload`` under ``key``, then GC to budget."""
         self.root.mkdir(parents=True, exist_ok=True)
-        return atomic_write(
+        written = atomic_write(
             self.path(key),
             lambda fh: pickle.dump(payload, fh,
                                    protocol=pickle.HIGHEST_PROTOCOL),
         )
+        self._gc(keep=written)
+        return written
+
+    def total_bytes(self) -> int:
+        """Current on-disk size of every stored artifact."""
+        if not self.root.is_dir():
+            return 0
+        return sum(entry.stat().st_size for entry in self.root.glob("*.pkl"))
+
+    def _gc(self, keep: Path) -> None:
+        """Evict least-recently-used entries until the store fits the budget."""
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for entry in self.root.glob("*.pkl"):
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue  # concurrently removed
+            total += stat.st_size
+            if entry != keep:
+                entries.append((stat.st_mtime, entry.name, stat.st_size, entry))
+        entries.sort()  # oldest mtime first; name breaks same-second ties
+        for _, _, size, entry in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
 
     def __contains__(self, key: str) -> bool:
         return self.path(key).exists()

@@ -8,7 +8,86 @@ from repro.augment.augmenter import AugmentConfig
 from repro.crowd.workflow import WorkflowConfig
 from repro.imaging.pyramid import PyramidMatcher
 
-__all__ = ["InspectorGadgetConfig"]
+__all__ = ["InspectorGadgetConfig", "ServingConfig"]
+
+_START_METHODS = ("spawn", "fork", "forkserver")
+
+
+@dataclass
+class ServingConfig:
+    """Deployment knobs for the multi-process serving pool.
+
+    This is a *runtime* slice: none of these settings participate in
+    fitting, fingerprinting or the saved profile, and none of them can
+    change predictions — the pool's output is byte-identical to
+    single-process ``predict`` for any value of any knob here.
+
+    ``workers`` is the number of worker processes, each loading the
+    profile once.  The dispatcher coalesces waiting requests into
+    micro-batches of at most ``max_batch`` images, waiting up to
+    ``max_wait_ms`` for more requests to arrive before dispatching a
+    partial batch (``0`` dispatches immediately — lowest latency, least
+    coalescing).  A crashed worker is replaced automatically at most
+    ``max_respawns`` times over the pool's lifetime before the pool
+    fails pending requests instead of retrying forever.
+
+    ``start_method`` selects the :mod:`multiprocessing` start method.
+    The default ``"spawn"`` is safe regardless of parent threads (the
+    dispatcher runs threads in the parent); ``"fork"`` starts faster on
+    POSIX but inherits the parent's whole state.  ``start_timeout_s``
+    bounds how long pool construction waits for every worker to load
+    the profile and report ready; ``request_timeout_s`` is the default
+    bound a blocking ``predict`` waits for its response.
+
+    ``warmup_shapes`` lists image shapes (height, width) whose matching
+    plans each worker precomputes at startup, so the first request for
+    those shapes pays no planning cost.
+    """
+
+    workers: int = 2
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+    max_respawns: int = 2
+    start_method: str = "spawn"
+    start_timeout_s: float = 120.0
+    request_timeout_s: float = 300.0
+    warmup_shapes: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+        if self.start_method not in _START_METHODS:
+            raise ValueError(
+                f"start_method must be one of {_START_METHODS}, "
+                f"got {self.start_method!r}"
+            )
+        if self.start_timeout_s <= 0:
+            raise ValueError(
+                f"start_timeout_s must be > 0, got {self.start_timeout_s}"
+            )
+        if self.request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be > 0, got {self.request_timeout_s}"
+            )
+        self.warmup_shapes = tuple(
+            tuple(int(side) for side in shape) for shape in self.warmup_shapes
+        )
+        for shape in self.warmup_shapes:
+            if len(shape) != 2 or shape[0] < 1 or shape[1] < 1:
+                raise ValueError(
+                    "warmup_shapes entries must be (height, width) pairs of "
+                    f"positive ints, got {shape!r}"
+                )
 
 
 @dataclass
@@ -34,6 +113,12 @@ class InspectorGadgetConfig:
     ``predict_batch_size`` chunks inference through the match engine so
     serving arbitrarily large image batches keeps bounded memory; like
     ``n_jobs`` and ``cache_dir`` it never changes results, only execution.
+
+    ``cache_max_bytes`` bounds the artifact store's on-disk footprint:
+    when a stage output would push the store past the budget, the least
+    recently used artifacts are evicted (a damaged-or-missing artifact is
+    always just a recompute, never an error).  ``None`` keeps the store
+    unbounded.
     """
 
     workflow: WorkflowConfig = field(default_factory=WorkflowConfig)
@@ -47,6 +132,7 @@ class InspectorGadgetConfig:
     default_hidden: tuple[int, ...] = (8,)
     seed: int = 0
     cache_dir: str | None = None
+    cache_max_bytes: int | None = None
     predict_batch_size: int = 64
 
     def __post_init__(self) -> None:
@@ -58,3 +144,5 @@ class InspectorGadgetConfig:
             raise ValueError("labeler_max_iter must be >= 1")
         if self.predict_batch_size < 1:
             raise ValueError("predict_batch_size must be >= 1")
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
+            raise ValueError("cache_max_bytes must be >= 1 or None")

@@ -44,13 +44,44 @@ from repro.labeler.weak_labels import WeakLabels
 from repro.patterns import Pattern
 from repro.utils.rng import as_rng
 
-__all__ = ["InspectorGadget", "FitReport"]
+__all__ = [
+    "InspectorGadget",
+    "FitReport",
+    "ProfileError",
+    "ProfileFormatError",
+    "ProfileCorruptError",
+    "ProfileVersionError",
+]
 
 # Bumped when the save() payload layout changes incompatibly.
 _SAVE_FORMAT = 1
 # Leading bytes of every profile file, checked by load() before unpickling
 # so arbitrary files are rejected without executing their pickle stream.
 _MAGIC = b"repro-ig-profile\x00"
+
+
+class ProfileError(ValueError):
+    """A saved profile could not be loaded.
+
+    Subclasses distinguish the failure modes :meth:`InspectorGadget.load`
+    can hit, so callers (the serving CLI, a fleet supervisor) can react
+    differently to "this is not a profile at all" vs "this profile is
+    damaged" vs "this profile needs a different code version".  All are
+    ``ValueError`` subclasses for backward compatibility.
+    """
+
+
+class ProfileFormatError(ProfileError):
+    """The file is not an InspectorGadget profile (bad magic / layout)."""
+
+
+class ProfileCorruptError(ProfileError):
+    """The file has a profile header but its payload is unreadable
+    (truncated write, disk damage, or classes missing after a refactor)."""
+
+
+class ProfileVersionError(ProfileError):
+    """The profile was written by an incompatible save-format version."""
 
 
 @dataclass
@@ -89,7 +120,8 @@ class InspectorGadget:
         self.config = config or InspectorGadgetConfig()
         self._rng = as_rng(self.config.seed)
         if store is None and self.config.cache_dir is not None:
-            store = ArtifactStore(self.config.cache_dir)
+            store = ArtifactStore(self.config.cache_dir,
+                                  max_bytes=self.config.cache_max_bytes)
         self.store = store
         self.crowd_result: CrowdResult | None = None
         self.feature_generator: FeatureGenerator | None = None
@@ -204,6 +236,23 @@ class InspectorGadget:
         self._require_fitted()
         return WeakLabels(probs=self.labeler.predict_proba(features))
 
+    def warmup(self, image_shapes) -> int:
+        """Precompute and pin the matching plan for each ``(h, w)`` shape.
+
+        Serving workers call this once after :meth:`load`, so the per-shape
+        FFT plans (pattern spectra, window tables, pyramid gating) are built
+        before the first request instead of on it.  Warmed plans are cached
+        on the match engine and their arrays are frozen read-only — the
+        engine's shared state cannot be mutated after planning, which is
+        what makes fanning requests out across threads or processes safe.
+        Plans for shapes not warmed here are still built (and cached) on
+        first use.  Returns the number of distinct shapes now cached.
+        """
+        self._require_fitted()
+        for shape in image_shapes:
+            self.feature_generator.warm(shape)
+        return self.feature_generator.engine.cached_plan_count()
+
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | Path) -> Path:
@@ -254,47 +303,74 @@ class InspectorGadget:
         deserialization, but the payload itself is a pickle — only load
         profiles from sources you trust.
 
+        Failure modes are distinct :class:`ProfileError` subclasses:
+        :class:`ProfileFormatError` (not a profile at all — check the
+        path), :class:`ProfileCorruptError` (truncated or damaged payload
+        — re-run ``save``), :class:`ProfileVersionError` (written by an
+        incompatible version — re-save with this code or load with the
+        version that wrote it).
+
         The training run's ``cache_dir`` is not reattached (a profile may
         be served on a host where that path means nothing); pass a config
         or store explicitly when re-fitting a loaded pipeline with caching.
         """
         with open(path, "rb") as fh:
             if fh.read(len(_MAGIC)) != _MAGIC:
-                raise ValueError(f"{path} is not an InspectorGadget save file")
+                raise ProfileFormatError(
+                    f"{path} is not an InspectorGadget save file (missing "
+                    "profile header); pass a path written by save()"
+                )
             try:
                 payload = pickle.load(fh)
             except Exception as exc:
                 # A damaged or version-skewed pickle can raise nearly
                 # anything (truncation, missing classes, bad state).
-                raise ValueError(
-                    f"{path} is not a readable InspectorGadget save file "
-                    f"({exc})"
+                raise ProfileCorruptError(
+                    f"{path} is not a readable InspectorGadget save file: "
+                    f"its payload is truncated or damaged ({exc}); re-save "
+                    "the profile from the fitted pipeline"
                 ) from exc
         if not isinstance(payload, dict) or "format" not in payload:
-            raise ValueError(f"{path} is not an InspectorGadget save file")
-        if payload["format"] != _SAVE_FORMAT:
-            raise ValueError(
-                f"unsupported save format {payload['format']!r} "
-                f"(this version reads format {_SAVE_FORMAT})"
+            raise ProfileFormatError(
+                f"{path} is not an InspectorGadget save file (unexpected "
+                "payload layout); pass a path written by save()"
             )
-        ig = cls(replace(payload["config"], cache_dir=None))
-        ig._task = payload["task"]
-        ig._n_classes = payload["n_classes"]
-        patterns = [
-            Pattern(array=entry["array"], label=entry["label"],
-                    provenance=entry["provenance"],
-                    source_image=entry["source_image"])
-            for entry in payload["patterns"]
-        ]
-        ig.feature_generator = FeatureGenerator(
-            patterns, payload["matcher"], n_jobs=ig.config.n_jobs
-        )
-        ig.labeler = MLPLabeler.from_payload(payload["labeler"])
-        if payload["tuning"] is not None:
-            ig.tuning = TuningResult.from_payload(payload["tuning"],
-                                                  labeler=ig.labeler)
-        if payload["report"] is not None:
-            ig.last_report = FitReport(**payload["report"])
+        if payload["format"] != _SAVE_FORMAT:
+            raise ProfileVersionError(
+                f"unsupported save format {payload['format']!r} "
+                f"(this version reads format {_SAVE_FORMAT}); re-save the "
+                "profile with this version or load it with the one that "
+                "wrote it"
+            )
+        try:
+            ig = cls(replace(payload["config"], cache_dir=None))
+            ig._task = payload["task"]
+            ig._n_classes = payload["n_classes"]
+            patterns = [
+                Pattern(array=entry["array"], label=entry["label"],
+                        provenance=entry["provenance"],
+                        source_image=entry["source_image"])
+                for entry in payload["patterns"]
+            ]
+            ig.feature_generator = FeatureGenerator(
+                patterns, payload["matcher"], n_jobs=ig.config.n_jobs
+            )
+            ig.labeler = MLPLabeler.from_payload(payload["labeler"])
+            if payload["tuning"] is not None:
+                ig.tuning = TuningResult.from_payload(payload["tuning"],
+                                                      labeler=ig.labeler)
+            if payload["report"] is not None:
+                ig.last_report = FitReport(**payload["report"])
+        except (KeyError, TypeError, IndexError, AttributeError) as exc:
+            # Right magic, right version, wrong shape (foreign writer or a
+            # hand-edited file): missing fields raise KeyError, wrong-typed
+            # fields raise TypeError/AttributeError downstream — all of it
+            # is a format problem, not a crash.
+            raise ProfileFormatError(
+                f"{path} is not an InspectorGadget save file (payload has "
+                f"a missing field or mistyped value: {exc!r}); pass a "
+                "path written by save()"
+            ) from exc
         return ig
 
     def serving_fingerprint(self) -> str:

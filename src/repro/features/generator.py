@@ -84,6 +84,7 @@ class FeatureGenerator:
         matcher: PyramidMatcher | None = None,
         strategy: str = "batched",
         n_jobs: int = 1,
+        cache_plans: bool = False,
     ):
         if not patterns:
             raise ValueError("FeatureGenerator needs at least one pattern")
@@ -93,9 +94,19 @@ class FeatureGenerator:
             )
         self.matcher = matcher or PyramidMatcher()
         self.strategy = strategy
-        self.engine = MatchEngine(self.matcher, n_jobs=n_jobs)
+        self.engine = MatchEngine(self.matcher, n_jobs=n_jobs,
+                                  cache_plans=cache_plans)
         self.fgfs = [FeatureGenerationFunction(p, self.matcher) for p in patterns]
         self.patterns = patterns
+
+    def warm(self, image_shape: tuple[int, int]) -> None:
+        """Pin the batched engine's matching plan for one image shape.
+
+        Used by serving workers at startup; see :meth:`MatchEngine.warm`.
+        After warming, the pattern set must be treated as read-only (the
+        engine freezes the pattern arrays to enforce it).
+        """
+        self.engine.warm(image_shape, [p.array for p in self.patterns])
 
     def transform_images(
         self, images: list[np.ndarray], batch_size: int | None = None

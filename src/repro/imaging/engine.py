@@ -26,9 +26,15 @@ computes the same similarity matrix with the redundant work hoisted out:
   deterministic and byte-identical to ``n_jobs=1``.
 
 Caching invariants: cached spectra/tables are keyed by value-derived shapes
-only and are never mutated after creation; the engine holds no state across
-:meth:`MatchEngine.score_matrix` calls, so patterns and images may be freely
-mutated between calls.
+only and are never mutated after creation; by default the engine holds no
+state across :meth:`MatchEngine.score_matrix` calls, so patterns and images
+may be freely mutated between calls.  Opting in to ``cache_plans`` (the
+serving path) changes that contract: the per-shape matching plan is kept
+across calls and every array it holds — including the caller's pattern
+arrays — is frozen read-only, enforcing that shared state cannot drift
+after planning.  A cached plan is reused only when the caller passes the
+*same* pattern array objects (checked by identity); different patterns
+rebuild the plan rather than returning stale scores.
 
 Equivalence: for every cell the engine computes the same mathematical
 quantity as the per-call path — same flat-window threshold and [0, 1]
@@ -50,6 +56,7 @@ there are round-off noise.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -176,6 +183,24 @@ class _ShapePlan:
     coarse_min_dist: list[int] = field(default_factory=list)
 
 
+def _freeze_plan(plan: _ShapePlan) -> None:
+    """Make every array a plan holds immutable.
+
+    Cached plans are shared across all future calls (and, in serving, were
+    built once at warmup for the lifetime of a worker); freezing turns any
+    accidental in-place mutation of that shared state into an immediate
+    ``ValueError`` instead of silently skewed scores.
+    """
+    for pset in (plan.exact_set, plan.coarse_set):
+        if pset is not None:
+            for arr in pset.arrays:
+                arr.flags.writeable = False
+            for spectrum in pset.spectra:
+                spectrum.flags.writeable = False
+    for arr in plan.coarse_fine_arrays:
+        arr.flags.writeable = False
+
+
 class MatchEngine:
     """Batched drop-in for per-call matching behind :class:`FeatureGenerator`.
 
@@ -190,7 +215,8 @@ class MatchEngine:
     results are deterministic and independent of ``n_jobs``.
     """
 
-    def __init__(self, matcher: PyramidMatcher | None = None, n_jobs: int = 1):
+    def __init__(self, matcher: PyramidMatcher | None = None, n_jobs: int = 1,
+                 cache_plans: bool = False):
         self.matcher = matcher or PyramidMatcher()
         # Same config validation pyramid_match applies per call, surfaced at
         # construction so the batched and naive paths reject the same setups.
@@ -208,6 +234,15 @@ class MatchEngine:
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
         self.n_jobs = int(n_jobs)
+        self.cache_plans = bool(cache_plans)
+        # shape -> (pattern arrays the plan was built from, frozen plan),
+        # LRU-ordered.  Bounded: a long-running serving worker fed varied
+        # image shapes must not pin a frozen plan (pattern spectra + window
+        # tables) per distinct shape forever.  16 shapes comfortably covers
+        # real camera/crop variety; past that, the least recently used plan
+        # is rebuilt on demand — a latency cost, never a correctness one.
+        self.plan_cache_size = 16
+        self._plan_cache: "OrderedDict[tuple[int, int], tuple[list[np.ndarray], _ShapePlan]]" = OrderedDict()
 
     # -- public API ----------------------------------------------------------
 
@@ -247,7 +282,7 @@ class MatchEngine:
             by_shape.setdefault(np.shape(im), []).append(i)
 
         for shape, indices in by_shape.items():
-            plan = self._plan(shape, patterns)
+            plan = self._plan_for(shape, patterns)
             step = len(indices) if batch_size is None else batch_size
             workers = min(self.n_jobs, min(step, len(indices)))
             with ThreadPoolExecutor(max_workers=workers) if workers > 1 \
@@ -274,7 +309,63 @@ class MatchEngine:
                     list(pool.map(run_chunk, chunks))
         return out
 
+    def warm(self, image_shape: tuple[int, int],
+             patterns: list[np.ndarray]) -> None:
+        """Build and pin the matching plan for ``image_shape`` ahead of use.
+
+        Enables ``cache_plans`` (warming is pointless without it): the plan
+        survives across :meth:`score_matrix` calls and its arrays — and the
+        given pattern arrays — are frozen read-only.  The serving workers
+        call this at startup so the first request pays no planning cost;
+        warming past ``plan_cache_size`` grows the cap rather than silently
+        evicting an earlier warmed shape, so that promise holds for every
+        warmed shape (only shapes seen ad hoc at runtime compete for LRU
+        slots).
+        """
+        shape = tuple(int(side) for side in image_shape)
+        if len(shape) != 2 or shape[0] < 1 or shape[1] < 1:
+            raise ValueError(
+                f"image_shape must be a (height, width) pair of positive "
+                f"ints, got {image_shape!r}"
+            )
+        self.cache_plans = True
+        if shape not in self._plan_cache:
+            self.plan_cache_size = max(self.plan_cache_size,
+                                       len(self._plan_cache) + 1)
+        self._plan_for(shape, [as_image(p) for p in patterns])
+
+    def cached_plan_count(self) -> int:
+        """How many distinct image shapes currently have a cached plan."""
+        return len(self._plan_cache)
+
     # -- planning ------------------------------------------------------------
+
+    def _plan_for(
+        self, image_shape: tuple[int, int], patterns: list[np.ndarray]
+    ) -> _ShapePlan:
+        """The plan for ``image_shape``, via the cache when enabled."""
+        if not self.cache_plans:
+            return self._plan(image_shape, patterns)
+        cached = self._plan_cache.get(image_shape)
+        if cached is not None:
+            cached_patterns, plan = cached
+            # Identity, not equality: comparing array contents would cost
+            # as much as replanning.  The serving path always passes the
+            # profile's own pattern arrays, so identity holds there.
+            if len(cached_patterns) == len(patterns) and all(
+                a is b for a, b in zip(cached_patterns, patterns)
+            ):
+                self._plan_cache.move_to_end(image_shape)
+                return plan
+        plan = self._plan(image_shape, patterns)
+        _freeze_plan(plan)
+        for arr in patterns:
+            arr.flags.writeable = False
+        self._plan_cache[image_shape] = (list(patterns), plan)
+        self._plan_cache.move_to_end(image_shape)
+        while len(self._plan_cache) > max(1, self.plan_cache_size):
+            self._plan_cache.popitem(last=False)  # evict LRU
+        return plan
 
     def _plan(
         self, image_shape: tuple[int, int], patterns: list[np.ndarray]

@@ -1,0 +1,51 @@
+"""Multi-process serving for saved Inspector Gadget profiles.
+
+The train-once/serve-many split (``InspectorGadget.save``/``load``) gets a
+production front end here::
+
+    dispatcher (parent)                      workers (processes)
+    ───────────────────                      ───────────────────
+    predict()/submit() ─┐
+                        ├─ micro-batch ──▶ task queue ──▶ load(profile) once,
+    predict()/submit() ─┘  (max_batch,                    warmed match plans,
+                            max_wait_ms)                  feature rows per task
+                                                               │
+    labeler on the assembled  ◀── result queues ◀──────────────┘
+    per-request feature matrix
+            │
+            ▶ PendingPrediction.result() → WeakLabels
+
+Workers compute the expensive half (images × patterns NCC features, the
+pipeline's dominant cost); the parent reassembles each request's full
+feature matrix and applies the MLP labeler once per request.  Because
+feature rows are per-image independent and the labeler sees exactly the
+matrix single-process ``predict`` would build, pool responses are
+**byte-identical** to single-process serving for any worker count, batch
+setting, or request interleaving.
+
+Lifecycle is product surface: warmup before ready, :meth:`ServingPool.health`
+/ :meth:`ServingPool.ping` for observability, :meth:`ServingPool.drain` /
+:meth:`ServingPool.shutdown` for graceful exits, and crashed workers are
+respawned (in-flight work resubmitted) within a bounded budget.
+
+``python -m repro.serving --profile p.igz --workers 4`` serves from the
+command line; see :mod:`repro.serving.cli`.
+"""
+
+from repro.core.config import ServingConfig
+from repro.serving.dispatcher import (
+    Dispatcher,
+    PendingPrediction,
+    ServingError,
+)
+from repro.serving.pool import PoolHealth, ServingPool, WorkerStatus
+
+__all__ = [
+    "ServingPool",
+    "ServingConfig",
+    "Dispatcher",
+    "PendingPrediction",
+    "ServingError",
+    "PoolHealth",
+    "WorkerStatus",
+]

@@ -1,0 +1,175 @@
+"""Command-line serving entry point: ``python -m repro.serving``.
+
+Loads a saved profile into a multi-process pool and labels images with it.
+Two input modes:
+
+* ``--images a.npy b.npy ...`` — label the given arrays in one batch
+  request, print one ``path<TAB>label<TAB>confidence`` line per image, and
+  optionally write the full probabilities with ``--output out.npz``.
+* ``--stdin`` — daemon loop: read one ``.npy`` path per line on stdin,
+  answer each with a JSON object on stdout (``{"path", "label",
+  "confidence", "probs"}``).  Pipe-friendly: a supervisor writes paths,
+  reads responses, and closes stdin to stop the daemon.
+
+Examples::
+
+    python -m repro.serving --profile ksdd.igz --workers 4 \
+        --images shots/*.npy --output weak.npz
+    printf '%s\n' shots/*.npy | \
+        python -m repro.serving --profile ksdd.igz --workers 2 --stdin
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.core.config import ServingConfig
+from repro.core.pipeline import ProfileError
+from repro.serving.dispatcher import ServingError
+from repro.serving.pool import ServingPool
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="Serve a saved Inspector Gadget profile from a "
+                    "multi-process worker pool.",
+    )
+    parser.add_argument("--profile", required=True,
+                        help="path to a profile written by "
+                             "InspectorGadget.save()")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (default: 2)")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="micro-batch size cap (default: 8)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="max wait to coalesce a partial batch "
+                             "(default: 2.0)")
+    parser.add_argument("--max-respawns", type=int, default=2,
+                        help="worker crash respawn budget (default: 2)")
+    parser.add_argument("--start-method", default="spawn",
+                        choices=("spawn", "fork", "forkserver"),
+                        help="multiprocessing start method (default: spawn)")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--images", nargs="+", metavar="NPY",
+                      help="label these .npy image files in one batch")
+    mode.add_argument("--stdin", action="store_true",
+                      help="daemon mode: read one .npy path per line on "
+                           "stdin, answer with JSON lines on stdout")
+    parser.add_argument("--output", metavar="NPZ",
+                        help="with --images: also write probs/labels to "
+                             "this .npz file")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the startup/health banner on stderr")
+    return parser
+
+
+def _load_image(path: str) -> np.ndarray:
+    array = np.load(path)
+    if array.ndim != 2:
+        raise ValueError(f"{path}: expected a 2-D image array, "
+                         f"got shape {array.shape}")
+    return array
+
+
+def _banner(pool: ServingPool, out) -> None:
+    health = pool.health()
+    ready = sum(1 for w in health.workers if w.ready)
+    print(f"serving profile {pool.profile_path} "
+          f"(fingerprint {pool.serving_fingerprint()[:12]}): "
+          f"{ready}/{len(health.workers)} workers ready, "
+          f"max_batch={pool.config.max_batch}, "
+          f"max_wait_ms={pool.config.max_wait_ms}", file=out)
+
+
+def _run_images(pool: ServingPool, paths: list[str], output: str | None,
+                out) -> int:
+    images = [_load_image(path) for path in paths]
+    weak = pool.predict(images)
+    for path, label, confidence in zip(paths, weak.labels, weak.confidence):
+        print(f"{path}\t{int(label)}\t{confidence:.6f}", file=out)
+    if output:
+        np.savez(output, probs=weak.probs, labels=weak.labels)
+    return 0
+
+
+def _run_stdin(pool: ServingPool, out) -> int:
+    for line in sys.stdin:
+        path = line.strip()
+        if not path:
+            continue
+        try:
+            weak = pool.predict(_load_image(path))
+        except (OSError, ValueError, ServingError, TimeoutError) as exc:
+            print(json.dumps({"path": path, "error": str(exc)}),
+                  file=out, flush=True)
+            if pool.health().failure is not None:
+                # The pool is terminally failed (e.g. respawn budget
+                # exhausted) — every further line would fail identically.
+                # Exit non-zero so a supervisor restarts the daemon instead
+                # of mistaking this for per-image errors.
+                print(f"error: serving pool failed: "
+                      f"{pool.health().failure}", file=sys.stderr)
+                return 3
+            continue
+        print(json.dumps({
+            "path": path,
+            "label": int(weak.labels[0]),
+            "confidence": float(weak.confidence[0]),
+            "probs": [float(p) for p in weak.probs[0]],
+        }), file=out, flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None, stdout=None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout if stdout is None else stdout
+    try:
+        config = ServingConfig(
+            workers=args.workers,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_respawns=args.max_respawns,
+            start_method=args.start_method,
+        )
+    except ValueError as exc:
+        # ServingConfig validates at construction; a bad flag value is a
+        # usage error, same exit code as an unloadable profile path.
+        print(f"error: invalid serving option: {exc}", file=sys.stderr)
+        return 2
+    try:
+        pool = ServingPool(args.profile, config)
+    except FileNotFoundError as exc:
+        print(f"error: profile not found: {exc}", file=sys.stderr)
+        return 2
+    except ProfileError as exc:
+        # The ProfileError subclasses carry actionable, mode-specific text
+        # (not a profile / truncated / version skew); surface it verbatim.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ServingError as exc:
+        print(f"error: pool startup failed: {exc}", file=sys.stderr)
+        return 3
+    try:
+        if not args.quiet:
+            _banner(pool, sys.stderr)
+        if args.stdin:
+            return _run_stdin(pool, out)
+        return _run_images(pool, args.images, args.output, out)
+    except (OSError, ValueError, ServingError, TimeoutError) as exc:
+        if pool.health().failure is not None:
+            # Exit-code contract: 1 is a per-request failure, 3 a dead
+            # pool (e.g. respawn budget exhausted) that a supervisor
+            # should restart.
+            print(f"error: serving pool failed: {exc}", file=sys.stderr)
+            return 3
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        pool.shutdown()

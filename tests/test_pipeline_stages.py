@@ -10,6 +10,7 @@ deterministic given a seed even with no cache at all.
 from __future__ import annotations
 
 import dataclasses
+import os
 import pickle
 
 import numpy as np
@@ -20,6 +21,10 @@ from repro.core import (
     ArtifactStore,
     InspectorGadget,
     InspectorGadgetConfig,
+    ProfileCorruptError,
+    ProfileError,
+    ProfileFormatError,
+    ProfileVersionError,
     fingerprint,
 )
 from repro.core.pipeline import _MAGIC
@@ -114,6 +119,80 @@ class TestArtifactStore:
         store.path("a" * 64).write_bytes(b"not a pickle")
         assert store.load("a" * 64) is None
         assert store.misses == 1
+
+
+class TestArtifactStoreGC:
+    """Size-bounded LRU eviction (``max_bytes``)."""
+
+    def _save_with_mtime(self, store, key, payload, mtime):
+        # Pin mtimes explicitly so LRU ordering is deterministic even when
+        # several saves land within one filesystem-timestamp granule.
+        store.save(key, payload)
+        os.utime(store.path(key), (mtime, mtime))
+
+    def test_least_recently_used_entries_are_evicted(self, tmp_path):
+        probe = ArtifactStore(tmp_path / "probe")
+        probe.save("p" * 64, {"blob": b"x" * 1000})
+        entry_size = probe.path("p" * 64).stat().st_size
+
+        store = ArtifactStore(tmp_path / "gc", max_bytes=3 * entry_size)
+        for i, key in enumerate(["a" * 64, "b" * 64, "c" * 64]):
+            self._save_with_mtime(store, key, {"blob": b"x" * 1000},
+                                  mtime=1000.0 + i)
+        assert len(store) == 3
+        # Touch "a": a load marks recency, so "b" becomes the LRU entry.
+        assert store.load("a" * 64) is not None
+        store.save("d" * 64, {"blob": b"x" * 1000})
+        assert store.evictions == 1
+        assert store.total_bytes() <= store.max_bytes
+        assert store.load("b" * 64) is None  # evicted (LRU)
+        # Warm loads of the survivors still work.
+        assert store.load("a" * 64) is not None
+        assert store.load("c" * 64) is not None
+        assert store.load("d" * 64) is not None
+
+    def test_just_written_artifact_survives_even_oversized(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=1)
+        store.save("a" * 64, {"blob": b"x" * 5000})
+        assert store.total_bytes() > store.max_bytes  # kept regardless
+        assert store.load("a" * 64) is not None
+        # The next save evicts the previous entry, never itself.
+        store.save("b" * 64, {"blob": b"y" * 5000})
+        assert store.load("b" * 64) is not None
+        assert store.load("a" * 64) is None
+        assert store.evictions == 1
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for i in range(5):
+            store.save(str(i) * 64, {"blob": b"x" * 2000})
+        assert len(store) == 5
+        assert store.evictions == 0
+
+    def test_max_bytes_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ArtifactStore(tmp_path, max_bytes=0)
+        with pytest.raises(ValueError, match="cache_max_bytes"):
+            InspectorGadgetConfig(cache_max_bytes=0)
+
+    def test_config_plumbs_budget_into_pipeline_store(self, tmp_path):
+        ig = InspectorGadget(_fast_config(cache_dir=str(tmp_path),
+                                          cache_max_bytes=12345))
+        assert ig.store.max_bytes == 12345
+
+    def test_evicted_stages_recompute_cleanly(self, tiny_ksdd, tmp_path):
+        """A budget too small to retain anything degrades to recomputation
+        with identical results — never to an error."""
+        config = _fast_config(cache_dir=str(tmp_path), cache_max_bytes=1)
+        cold = InspectorGadget(config)
+        cold_report = cold.fit(tiny_ksdd)
+        warm = InspectorGadget(config)
+        warm_report = warm.fit(tiny_ksdd)
+        # Each save immediately evicts older artifacts, so the warm fit
+        # re-executes evicted stages rather than loading them — and lands
+        # on the same result.
+        assert warm.last_run.n_executed > 0
+        assert dataclasses.asdict(warm_report) == dataclasses.asdict(cold_report)
 
 
 class TestStagedFit:
@@ -265,6 +344,56 @@ class TestSaveLoad:
             pickle.dump({"format": 999}, fh)
         with pytest.raises(ValueError, match="unsupported save format"):
             InspectorGadget.load(target)
+
+    def test_load_failure_modes_raise_distinct_errors(self, tmp_path):
+        """Each way a profile can be unreadable has its own exception type
+        (all ValueError-compatible), so operators can tell "wrong file"
+        from "damaged file" from "wrong version" without parsing messages."""
+        # Corrupt/missing magic header: not a profile at all.
+        bad_magic = tmp_path / "bad_magic.igz"
+        bad_magic.write_bytes(b"XX" + _MAGIC[2:] + pickle.dumps({"format": 1}))
+        with pytest.raises(ProfileFormatError, match="profile header"):
+            InspectorGadget.load(bad_magic)
+
+        # Truncated payload: the header is right but the pickle stream ends
+        # mid-way (interrupted copy, disk damage).
+        whole = _MAGIC + pickle.dumps({"format": 1, "padding": b"x" * 256})
+        truncated = tmp_path / "truncated.igz"
+        truncated.write_bytes(whole[: len(_MAGIC) + 40])
+        with pytest.raises(ProfileCorruptError, match="truncated or damaged"):
+            InspectorGadget.load(truncated)
+
+        # Version mismatch: written by an incompatible save format.
+        future = tmp_path / "future.igz"
+        future.write_bytes(_MAGIC + pickle.dumps({"format": 999}))
+        with pytest.raises(ProfileVersionError, match="unsupported save format"):
+            InspectorGadget.load(future)
+
+        # Right header and version but missing payload fields (foreign
+        # writer): still a format error, never a bare KeyError.
+        hollow = tmp_path / "hollow.igz"
+        hollow.write_bytes(_MAGIC + pickle.dumps({"format": 1}))
+        with pytest.raises(ProfileFormatError, match="missing field"):
+            InspectorGadget.load(hollow)
+
+        # Fields present but mistyped: also a format error, never a bare
+        # TypeError escaping the ValueError-compatible hierarchy.
+        mistyped = tmp_path / "mistyped.igz"
+        mistyped.write_bytes(_MAGIC + pickle.dumps({
+            "format": 1, "config": InspectorGadgetConfig(), "task": "binary",
+            "n_classes": 2, "patterns": [None], "matcher": None,
+            "labeler": None, "tuning": None, "report": None,
+        }))
+        with pytest.raises(ProfileFormatError, match="mistyped"):
+            InspectorGadget.load(mistyped)
+
+        # The hierarchy: every failure is a ProfileError and a ValueError,
+        # so pre-existing callers that catch ValueError keep working.
+        for target in (bad_magic, truncated, future, hollow, mistyped):
+            with pytest.raises(ProfileError):
+                InspectorGadget.load(target)
+            with pytest.raises(ValueError):
+                InspectorGadget.load(target)
 
     def test_save_is_atomic(self, tiny_ksdd, tmp_path):
         """Re-saving over an existing profile leaves no temp debris and the
