@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _common import ALL_DATASETS, default_dev_budget, emit, profile_for
+from _common import ALL_DATASETS, CACHE_DIR, default_dev_budget, emit, profile_for
 from repro.eval.experiments import _context_features, prepare_context
 from repro.eval.metrics import f1_score
 from repro.labeler.mlp import MLPLabeler
@@ -32,9 +32,12 @@ def _architecture_f1(ctx, x_dev, x_test, hidden) -> float:
 
 def _run_dataset(name: str):
     profile = profile_for(name)
+    # Crowd run and NCC feature matrix come from the shared artifact store:
+    # every architecture cell below reuses the same on-disk artifacts.
     ctx = prepare_context(name, profile,
-                          dev_budget=default_dev_budget(name, profile))
-    x_dev, x_test = _context_features(ctx)
+                          dev_budget=default_dev_budget(name, profile),
+                          cache_dir=CACHE_DIR)
+    x_dev, x_test = _context_features(ctx, cache_dir=CACHE_DIR)
     grid = candidate_architectures(x_dev.shape[1], max_layers=3)
     test_scores = {
         hidden: _architecture_f1(ctx, x_dev, x_test, hidden)

@@ -18,7 +18,7 @@ import copy
 
 import pytest
 
-from _common import ALL_DATASETS, emit, profile_for
+from _common import ALL_DATASETS, CACHE_DIR, emit, profile_for
 from repro.eval.experiments import (
     prepare_context,
     pretext_backbone,
@@ -48,8 +48,13 @@ def _run_dataset(name: str):
     rows = []
     goggles_f1 = None
     for dev_size in DEV_SIZES[name]:
-        ctx = prepare_context(name, profile, dev_budget=dev_size)
-        f1_ig, _ = run_inspector_gadget(ctx, n_policy=8, n_gan=8)
+        # Contexts and IG fit stages ride the shared artifact store: each
+        # (dataset, dev size) crowd run and feature matrix is computed once
+        # and loaded from disk by every other cell / rerun that shares it.
+        ctx = prepare_context(name, profile, dev_budget=dev_size,
+                              cache_dir=CACHE_DIR)
+        f1_ig, _ = run_inspector_gadget(ctx, n_policy=8, n_gan=8,
+                                        cache_dir=CACHE_DIR)
         f1_snuba = run_snuba(ctx)
         if goggles_f1 is None:
             # GOGGLES never trains on dev labels; its accuracy is constant

@@ -16,16 +16,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _common import ALL_DATASETS, emit, default_dev_budget, profile_for
+from _common import ALL_DATASETS, CACHE_DIR, emit, default_dev_budget, profile_for
 from repro.augment.gan import RGANConfig, gan_augment
 from repro.augment.policy_search import (
     PolicySearchConfig,
     policy_augment,
     search_policies,
 )
-from repro.eval.experiments import prepare_context
+from repro.eval.experiments import cached_feature_matrices, prepare_context
 from repro.eval.metrics import f1_score
-from repro.features.generator import FeatureGenerator
 from repro.labeler.tuning import tune_labeler
 from repro.utils.tables import format_table
 
@@ -45,8 +44,11 @@ def _mode_f1(ctx, x_dev, x_test, cols) -> float:
 
 def _run_dataset(name: str) -> dict[str, float]:
     profile = profile_for(name)
+    # The crowd run comes from the shared artifact store (one per dataset,
+    # shared with the other sweep drivers that use the same budget).
     ctx = prepare_context(name, profile,
-                          dev_budget=default_dev_budget(name, profile))
+                          dev_budget=default_dev_budget(name, profile),
+                          cache_dir=CACHE_DIR)
     base = ctx.crowd.patterns
     search = search_policies(
         base, ctx.dev,
@@ -63,9 +65,11 @@ def _run_dataset(name: str) -> dict[str, float]:
         seed=profile.seed,
     )
     all_patterns = base + policy_patterns + gan_patterns
-    fg = FeatureGenerator(all_patterns)
-    x_dev = fg.transform(ctx.dev).values
-    x_test = fg.transform(ctx.test).values
+    # One union-pattern-set NCC feature matrix on disk backs all four modes
+    # (each selects its column subset) and every rerun of this table.
+    x_dev, x_test = cached_feature_matrices(
+        CACHE_DIR, "table4-features", all_patterns, ctx.dev, ctx.test
+    )
 
     b, p, g = len(base), len(policy_patterns), len(gan_patterns)
     cols = {

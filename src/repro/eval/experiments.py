@@ -24,6 +24,7 @@ from repro.baselines.transfer import (
     TransferLearningBaseline,
     pretrain_on_pretext,
 )
+from repro.core.artifacts import ArtifactStore, fingerprint
 from repro.core.config import InspectorGadgetConfig
 from repro.core.pipeline import InspectorGadget
 from repro.crowd.workflow import CrowdResult, CrowdsourcingWorkflow, WorkflowConfig
@@ -38,6 +39,8 @@ __all__ = [
     "ExperimentContext",
     "FAST_PROFILE",
     "BENCH_PROFILE",
+    "cached_artifact",
+    "cached_feature_matrices",
     "prepare_context",
     "build_ig_config",
     "run_inspector_gadget",
@@ -110,33 +113,83 @@ class ExperimentContext:
         return self.crowd.dev
 
 
+# Version tag baked into every sweep-cache key this module (and the
+# benchmark drivers) produces.  Content-addressed keys cover *inputs* only —
+# configs, seeds, image and pattern content — so a code change that alters
+# the numbers computed from those inputs (engine/NCC numerics, workflow
+# semantics) must bump this, or previously cached artifacts would be served
+# into regenerated benchmark tables that the current code cannot reproduce.
+# (2 = post-refinement-batching feature numerics.)
+SWEEP_CACHE_VERSION = 2
+
+
+def cached_artifact(cache_dir: str | None, key_parts, compute):
+    """Load-or-compute one artifact through a shared :class:`ArtifactStore`.
+
+    ``key_parts`` is any :func:`fingerprint`-able value identifying the
+    computation (configs, seeds, image/pattern content); ``compute`` is a
+    zero-argument callable producing the artifact.  With ``cache_dir=None``
+    the store is bypassed entirely.  This is what lets the sweep drivers
+    (Figures 9-11, Table 4) back every grid cell with one crowd run and one
+    feature matrix on disk instead of hand-rolled in-process reuse.
+    ``SWEEP_CACHE_VERSION`` is folded into every key so stale-numerics
+    artifacts can be invalidated in one place.
+    """
+    if cache_dir is None:
+        return compute()
+    store = ArtifactStore(cache_dir)
+    key = fingerprint((SWEEP_CACHE_VERSION, key_parts))
+    hit = store.load(key)
+    if hit is not None:
+        return hit
+    value = compute()
+    store.save(key, value)
+    return value
+
+
 def prepare_context(
     name: str,
     profile: ExperimentProfile = BENCH_PROFILE,
     dev_budget: int | None = None,
     seed: int | None = None,
+    cache_dir: str | None = None,
 ) -> ExperimentContext:
     """Generate the dataset, run the crowd workflow, split off the test pool.
 
     ``dev_budget`` fixes the number of annotated images (Figure 9 sweeps);
     otherwise annotation stops at ``profile.target_defective`` defectives.
+    ``cache_dir`` stores the finished *crowd run* in the shared artifact
+    store, keyed by every input that determines it, so sweep grids across
+    settings share one crowd run on disk.  The dataset itself is
+    deterministic from the seed and cheap to regenerate, so it is rebuilt
+    rather than stored — a dev-budget sweep caches one small crowd result
+    per cell instead of duplicating the full image set per cell.
     """
     seed = profile.seed if seed is None else seed
     rng = as_rng(seed)
     dataset = make_dataset(name, scale=profile.scale, seed=rng,
                            n_images=profile.n_images)
-    workflow = CrowdsourcingWorkflow(
-        WorkflowConfig(n_workers=profile.workflow_workers,
-                       target_defective=profile.target_defective),
-        seed=rng,
+
+    def run_crowd() -> CrowdResult:
+        workflow = CrowdsourcingWorkflow(
+            WorkflowConfig(n_workers=profile.workflow_workers,
+                           target_defective=profile.target_defective),
+            seed=rng,
+        )
+        if dev_budget is None:
+            return workflow.run(dataset)
+        return workflow.run_fixed(dataset, dev_budget)
+
+    crowd = cached_artifact(
+        cache_dir,
+        ("experiment-crowd", name, profile, dev_budget, seed),
+        run_crowd,
     )
-    if dev_budget is None:
-        crowd = workflow.run(dataset)
-    else:
-        crowd = workflow.run_fixed(dataset, dev_budget)
     dev_set = set(crowd.dev_indices)
-    test = dataset.subset([i for i in range(len(dataset)) if i not in dev_set],
-                          name=f"{name}/test")
+    test = dataset.subset(
+        [i for i in range(len(dataset)) if i not in dev_set],
+        name=f"{name}/test",
+    )
     return ExperimentContext(name=name, dataset=dataset, crowd=crowd,
                              test=test, profile=profile)
 
@@ -194,13 +247,51 @@ def run_inspector_gadget(
     return f1_score(ctx.test.labels, weak.labels, task=ctx.dataset.task), ig
 
 
-def _context_features(ctx: ExperimentContext) -> tuple[np.ndarray, np.ndarray]:
-    """Crowd-pattern FGF features for (dev, test), cached per context."""
+def cached_feature_matrices(
+    cache_dir: str | None,
+    tag: str,
+    patterns,
+    dev: Dataset,
+    test: Dataset,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The (dev, test) NCC feature matrices for a pattern set, via the store.
+
+    The single key contract for sweep-driver feature caching (used by the
+    Figure 10/11 and Table 4 drivers as well as :func:`_context_features`):
+    matrices are addressed by the content of the patterns and images they
+    were computed from, so one feature computation backs every grid cell
+    that shares them, across processes.
+    """
+
+    def compute() -> tuple[np.ndarray, np.ndarray]:
+        fg = FeatureGenerator(patterns)
+        return fg.transform(dev).values, fg.transform(test).values
+
+    return cached_artifact(
+        cache_dir,
+        (tag,
+         [p.array for p in patterns],
+         [p.label for p in patterns],
+         [item.image for item in dev.images],
+         [item.image for item in test.images]),
+        compute,
+    )
+
+
+def _context_features(
+    ctx: ExperimentContext, cache_dir: str | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Crowd-pattern FGF features for (dev, test), cached per context.
+
+    ``cache_dir`` additionally persists the two matrices in the shared
+    artifact store via :func:`cached_feature_matrices`.
+    """
     key = id(ctx.crowd)
     if key not in ctx._fg_cache:
-        fg = FeatureGenerator(ctx.crowd.patterns)
-        ctx._fg_cache[key] = (fg.transform(ctx.dev).values,
-                              fg.transform(ctx.test).values)
+        ctx._fg_cache[key] = cached_feature_matrices(
+            cache_dir, "context-features", ctx.crowd.patterns,
+            ctx.dev, ctx.test,
+        )
     return ctx._fg_cache[key]
 
 

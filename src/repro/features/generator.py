@@ -99,14 +99,16 @@ class FeatureGenerator:
         self.fgfs = [FeatureGenerationFunction(p, self.matcher) for p in patterns]
         self.patterns = patterns
 
-    def warm(self, image_shape: tuple[int, int]) -> None:
+    def warm(self, image_shape: tuple[int, int]) -> dict[str, int]:
         """Pin the batched engine's matching plan for one image shape.
 
         Used by serving workers at startup; see :meth:`MatchEngine.warm`.
         After warming, the pattern set must be treated as read-only (the
-        engine freezes the pattern arrays to enforce it).
+        engine freezes the pattern arrays to enforce it).  Returns the
+        engine's summary of the pinned plan (exact/coarse column counts and
+        refinement buffer count) for warmup logging.
         """
-        self.engine.warm(image_shape, [p.array for p in self.patterns])
+        return self.engine.warm(image_shape, [p.array for p in self.patterns])
 
     def transform_images(
         self, images: list[np.ndarray], batch_size: int | None = None

@@ -19,6 +19,19 @@ computes the same similarity matrix with the redundant work hoisted out:
   ``(image, pattern_shape)``.  Augmented patterns overwhelmingly share
   shapes, so these maps are computed once per shape from two cumulative-sum
   tables per image — no FFT at all — and cached.
+* **Batched pyramid refinement (plan/execute).**  In pyramid mode the
+  full-resolution refinement of coarse candidates is two-phase: the *plan*
+  maps each pattern's coarse peaks to clipped windows with the same pure
+  geometry helper as the per-call path
+  (:func:`repro.imaging.pyramid._refine_windows`), then the *execute* phase
+  buckets all (pattern, window) tasks of an image by pattern and window
+  shape and scores each bucket with one vectorized NCC
+  (:func:`repro.imaging.ncc.match_windows`) against kernel spectra pinned at
+  plan time — instead of one scalar ``match_pattern`` call per candidate
+  window.  Patterns whose refinement finds no viable window are scored
+  through a row-local full-resolution pattern set built on demand (the same
+  batched machinery as exact columns), so no per-call matching survives
+  anywhere in the hot path.
 * **Opt-in parallelism over images.**  ``n_jobs > 1`` fans image rows out to
   a thread pool in contiguous chunks (FFT work releases the GIL).  All
   shared state is computed *before* dispatch and read-only afterwards, and
@@ -40,7 +53,7 @@ Equivalence: for every cell the engine computes the same mathematical
 quantity as the per-call path — same flat-window threshold and [0, 1]
 clamping (shared via :func:`repro.imaging.ncc._finalize_response`), same
 oversized-pattern shrinking (:func:`repro.imaging.ops.fit_pattern_to_image`),
-and, in pyramid mode, the same candidate selection and refinement helpers as
+and, in pyramid mode, the same candidate selection and window geometry as
 :func:`repro.imaging.pyramid.pyramid_match`.  Only FFT padding sizes and the
 window-sum algorithm differ, which moves individual scores by round-off
 only (~1e-14 observed; the equivalence harness asserts 1e-6).  The one
@@ -64,13 +77,13 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import fft as sp_fft
 
-from repro.imaging.ncc import _finalize_response, match_pattern
+from repro.imaging.ncc import _finalize_response, match_windows
 from repro.imaging.ops import as_image, downsample, fit_pattern_to_image
 from repro.imaging.pyramid import (
     PyramidMatcher,
     _coarse_ok,
     _min_peak_distance,
-    _refine_peaks,
+    _refine_windows,
     _top_k_peaks,
 )
 
@@ -165,6 +178,25 @@ def _iter_responses(image: np.ndarray, pset: _PatternSet):
 
 
 @dataclass
+class _RefineSpec:
+    """Pinned refinement buffers for one coarse pattern (plan phase).
+
+    Refinement windows for a pattern of shape ``(h, w)`` are all
+    ``(h + 2*margin, w + 2*margin)`` except border-clipped ones, so the FFT
+    shape that covers the *largest* possible window serves every window the
+    pattern can produce (linear convolution only needs length >=
+    ``window + h - 1`` per axis).  The flipped (and, for ``zero_mean``,
+    mean-centred) kernel spectrum at that shape and the kernel energy are
+    computed once at plan time — serving workers pin them at warmup — so the
+    execute phase pays only the window transforms.
+    """
+
+    fshape: tuple[int, int]
+    spectrum: np.ndarray
+    energy: float
+
+
+@dataclass
 class _ShapePlan:
     """Precomputed, read-only matching plan for one distinct image shape.
 
@@ -172,7 +204,12 @@ class _ShapePlan:
     them when the matcher is exact; the coarse-ineligible ones in pyramid
     mode).  ``coarse_indices`` are scored coarse-to-fine: ``coarse_set``
     matches downsampled patterns against the downsampled image, then
-    candidates are refined at full resolution with the fine ``arrays``.
+    candidates are refined at full resolution with the fine ``arrays`` using
+    the per-pattern ``coarse_refine`` buffers.  A pattern whose refinement
+    finds no viable window (sentinel fallback) is scored through a row-local
+    full-resolution :class:`_PatternSet` built on demand in
+    :meth:`MatchEngine._score_coarse` — the same batched full-image
+    machinery as the exact set, never a fresh per-call match.
     """
 
     exact_indices: list[int] = field(default_factory=list)
@@ -181,6 +218,7 @@ class _ShapePlan:
     coarse_set: _PatternSet | None = None
     coarse_fine_arrays: list[np.ndarray] = field(default_factory=list)
     coarse_min_dist: list[int] = field(default_factory=list)
+    coarse_refine: list[_RefineSpec] = field(default_factory=list)
 
 
 def _freeze_plan(plan: _ShapePlan) -> None:
@@ -199,6 +237,8 @@ def _freeze_plan(plan: _ShapePlan) -> None:
                 spectrum.flags.writeable = False
     for arr in plan.coarse_fine_arrays:
         arr.flags.writeable = False
+    for spec in plan.coarse_refine:
+        spec.spectrum.flags.writeable = False
 
 
 class MatchEngine:
@@ -218,17 +258,10 @@ class MatchEngine:
     def __init__(self, matcher: PyramidMatcher | None = None, n_jobs: int = 1,
                  cache_plans: bool = False):
         self.matcher = matcher or PyramidMatcher()
-        # Same config validation pyramid_match applies per call, surfaced at
-        # construction so the batched and naive paths reject the same setups.
-        if self.matcher.enabled:
-            if self.matcher.factor < 1:
-                raise ValueError(
-                    f"factor must be >= 1, got {self.matcher.factor}"
-                )
-            if self.matcher.candidates < 1:
-                raise ValueError(
-                    f"candidates must be >= 1, got {self.matcher.candidates}"
-                )
+        # The same validator pyramid_match applies per call, surfaced at
+        # construction so the batched and naive paths reject the same setups
+        # with the same message.
+        self.matcher.validate()
         if n_jobs == -1:
             n_jobs = os.cpu_count() or 1
         if n_jobs < 1:
@@ -310,7 +343,7 @@ class MatchEngine:
         return out
 
     def warm(self, image_shape: tuple[int, int],
-             patterns: list[np.ndarray]) -> None:
+             patterns: list[np.ndarray]) -> dict[str, int]:
         """Build and pin the matching plan for ``image_shape`` ahead of use.
 
         Enables ``cache_plans`` (warming is pointless without it): the plan
@@ -321,6 +354,11 @@ class MatchEngine:
         evicting an earlier warmed shape, so that promise holds for every
         warmed shape (only shapes seen ad hoc at runtime compete for LRU
         slots).
+
+        Returns a summary of what was pinned — ``exact``/``coarse`` column
+        counts plus the per-pattern ``refine_buffers`` (pinned refinement
+        kernel spectra) — so callers can log what a warmed worker actually
+        holds.
         """
         shape = tuple(int(side) for side in image_shape)
         if len(shape) != 2 or shape[0] < 1 or shape[1] < 1:
@@ -332,7 +370,12 @@ class MatchEngine:
         if shape not in self._plan_cache:
             self.plan_cache_size = max(self.plan_cache_size,
                                        len(self._plan_cache) + 1)
-        self._plan_for(shape, [as_image(p) for p in patterns])
+        plan = self._plan_for(shape, [as_image(p) for p in patterns])
+        return {
+            "exact": len(plan.exact_indices),
+            "coarse": len(plan.coarse_indices),
+            "refine_buffers": len(plan.coarse_refine),
+        }
 
     def cached_plan_count(self) -> int:
         """How many distinct image shapes currently have a cached plan."""
@@ -401,7 +444,35 @@ class MatchEngine:
             plan.coarse_min_dist = [
                 _min_peak_distance(cp.shape) for cp in coarse_patterns
             ]
+            plan.coarse_refine = [
+                self._refine_spec(arr, image_shape, factor)
+                for arr in plan.coarse_fine_arrays
+            ]
         return plan
+
+    def _refine_spec(
+        self,
+        pattern: np.ndarray,
+        image_shape: tuple[int, int],
+        margin: int,
+    ) -> _RefineSpec:
+        """Pin one pattern's refinement buffers (kernel spectrum + energy)."""
+        h, w = pattern.shape
+        # The largest window this pattern can produce: (h + 2*margin) around
+        # an interior peak, clipped to the image for small images.
+        win_h = min(h + 2 * margin, image_shape[0])
+        win_w = min(w + 2 * margin, image_shape[1])
+        fshape = (
+            sp_fft.next_fast_len(win_h + h - 1, True),
+            sp_fft.next_fast_len(win_w + w - 1, True),
+        )
+        kernel = pattern - pattern.mean() if self.matcher.zero_mean else pattern
+        spectrum = sp_fft.rfft2(kernel[::-1, ::-1], s=fshape)
+        return _RefineSpec(
+            fshape=fshape,
+            spectrum=spectrum,
+            energy=float(np.sum(kernel * kernel)),
+        )
 
     # -- scoring -------------------------------------------------------------
 
@@ -420,22 +491,82 @@ class MatchEngine:
     def _score_coarse(
         self, image: np.ndarray, plan: _ShapePlan, row: np.ndarray
     ) -> None:
+        """Coarse-to-fine scoring, collect-then-execute.
+
+        Phase 1 (*plan*): run the batched coarse match, select peaks, and map
+        them to full-resolution windows with the same geometry helper as the
+        per-call path (:func:`_refine_windows`).  Phase 2 (*execute*): bucket
+        the collected (pattern, window) tasks by pattern and window shape and
+        score each bucket with one batched NCC over the stacked windows —
+        patterns that share a shape execute together regardless of which
+        column they fill.  Patterns with no viable window fall back to a
+        row-local full-resolution pattern set, scored through the same
+        batched full-image path as exact columns.
+        """
         matcher = self.matcher
-        coarse_image = downsample(image, matcher.factor)
+        factor = matcher.factor
+        coarse_image = downsample(image, factor)
+        # (pattern_shape, window_shape) -> [(slot, y0, x0), ...].  Window
+        # shape is uniform inside a bucket so the windows stack; pattern
+        # shape fixes the numerator slicing and the pinned fshape.
+        buckets: dict[
+            tuple[tuple[int, int], tuple[int, int]],
+            list[tuple[int, int, int]],
+        ] = {}
+        fallback_slots: list[int] = []
         responses = _iter_responses(coarse_image, plan.coarse_set)
-        for j, arr, min_dist, response in zip(
-            plan.coarse_indices, plan.coarse_fine_arrays,
-            plan.coarse_min_dist, responses,
+        for slot, (min_dist, response) in enumerate(
+            zip(plan.coarse_min_dist, responses)
         ):
+            arr = plan.coarse_fine_arrays[slot]
             peaks = _top_k_peaks(response, matcher.candidates, min_dist)
-            if peaks:
-                best = _refine_peaks(
-                    image, arr, peaks, matcher.factor,
-                    margin=matcher.factor, zero_mean=matcher.zero_mean,
+            windows = _refine_windows(
+                image.shape, arr.shape, peaks, factor, margin=factor
+            )
+            if not windows:
+                fallback_slots.append(slot)
+                continue
+            for y0, x0, win_h, win_w in windows:
+                buckets.setdefault((arr.shape, (win_h, win_w)), []).append(
+                    (slot, y0, x0)
                 )
-                if best.score >= 0:
-                    row[j] = best.score
-                    continue
-            row[j] = match_pattern(
-                image, arr, zero_mean=matcher.zero_mean
-            ).score
+        best = np.full(len(plan.coarse_indices), -1.0)
+        for (_, (win_h, win_w)), entries in buckets.items():
+            stack = np.stack(
+                [image[y0 : y0 + win_h, x0 : x0 + win_w]
+                 for _, y0, x0 in entries]
+            )
+            specs = [plan.coarse_refine[slot] for slot, _, _ in entries]
+            scores = match_windows(
+                stack,
+                np.stack([plan.coarse_fine_arrays[slot]
+                          for slot, _, _ in entries]),
+                zero_mean=matcher.zero_mean,
+                spectra=np.stack([spec.spectrum for spec in specs]),
+                # One fshape per pattern shape (sized for the largest window
+                # the shape can produce), shared by every bucket of that
+                # shape, so clipped and unclipped windows batch identically.
+                fshape=specs[0].fshape,
+                energies=np.array([spec.energy for spec in specs]),
+            )
+            np.maximum.at(best, [slot for slot, _, _ in entries], scores)
+        for slot, j in enumerate(plan.coarse_indices):
+            if best[slot] >= 0:
+                row[j] = best[slot]
+        if fallback_slots:
+            # Full-resolution batched scoring for the rare patterns whose
+            # refinement found no viable window — the same machinery as
+            # exact columns.  The set is row-local (fallback slots depend on
+            # this image's coarse response), built only when a fallback
+            # actually fires, so pyramid plans never pin exact-set-sized
+            # spectra for every coarse pattern; determinism is unaffected
+            # because it derives only from (image, plan), never from
+            # scheduling.
+            fallback_set = _PatternSet.build(
+                [plan.coarse_fine_arrays[slot] for slot in fallback_slots],
+                image.shape, matcher.zero_mean,
+            )
+            for slot, response in zip(
+                fallback_slots, _iter_responses(image, fallback_set)
+            ):
+                row[plan.coarse_indices[slot]] = response.max()

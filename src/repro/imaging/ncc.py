@@ -20,11 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import fft as sp_fft
 from scipy.signal import fftconvolve
 
 from repro.imaging.ops import as_image
 
-__all__ = ["ncc_map", "match_pattern", "MatchResult"]
+__all__ = ["ncc_map", "match_pattern", "match_windows", "MatchResult"]
 
 # Windows whose energy falls below this are treated as flat (score 0):
 # correlating against a constant region is meaningless and FFT round-off
@@ -107,3 +108,111 @@ def match_pattern(
     flat_idx = int(np.argmax(response))
     y, x = np.unravel_index(flat_idx, response.shape)
     return MatchResult(score=float(response[y, x]), y=int(y), x=int(x))
+
+
+def _batched_window_sums(values: np.ndarray, h: int, w: int) -> np.ndarray:
+    """All ``h x w`` sliding-window sums of every slice in a ``(K, H, W)`` stack.
+
+    Batched integral-image tables: two cumulative sums and four gathers per
+    stack, no FFT — the same algorithm the match engine uses for full-image
+    window statistics, vectorized over the leading axis.
+    """
+    k, height, width = values.shape
+    table = np.zeros((k, height + 1, width + 1))
+    np.cumsum(values, axis=1, out=table[:, 1:, 1:])
+    np.cumsum(table[:, 1:, 1:], axis=2, out=table[:, 1:, 1:])
+    return (
+        table[:, h:, w:] - table[:, :-h, w:]
+        - table[:, h:, :-w] + table[:, :-h, :-w]
+    )
+
+
+def match_windows(
+    windows: np.ndarray,
+    patterns: np.ndarray,
+    zero_mean: bool = False,
+    *,
+    spectra: np.ndarray | None = None,
+    fshape: tuple[int, int] | None = None,
+    energies: np.ndarray | float | None = None,
+) -> np.ndarray:
+    """Best NCC score of each window in a same-shape stack, in one batch.
+
+    ``windows`` is a ``(K, H, W)`` stack of equally shaped candidate windows;
+    ``patterns`` is either one ``(h, w)`` pattern scored against every window
+    or a ``(K, h, w)`` stack pairing each window with its own pattern.  The
+    whole batch runs through a single vectorized NCC — one ``rfft2`` over the
+    stack, one spectrum product, one inverse transform — with window
+    energy/variance from batched integral images.  Returns the ``(K,)``
+    per-window best scores.
+
+    This is the batched *execute* step behind pyramid refinement: the
+    windows planned by :func:`repro.imaging.pyramid._refine_windows` are
+    stacked per shape and scored here instead of one
+    :func:`match_pattern` call per window.  The flat-window threshold and
+    [0, 1] clamping are shared with the per-call kernels via
+    :func:`_finalize_response`, so scores agree with per-window
+    :func:`match_pattern` to FFT round-off.
+
+    ``spectra``/``fshape``/``energies`` are an optimization handshake for
+    callers (the match engine) that pinned the pattern spectra at plan time:
+    when given, they must equal what this function would compute — ``fshape``
+    at least ``(H + h - 1, W + w - 1)`` element-wise, ``spectra`` the
+    ``rfft2`` at ``fshape`` of each flipped (and, for ``zero_mean``,
+    mean-centred) pattern, ``energies`` the matching kernel energies.
+    """
+    windows = np.asarray(windows, dtype=np.float64)
+    if windows.ndim != 3:
+        raise ValueError(
+            f"windows must be a (K, H, W) stack, got shape {windows.shape}"
+        )
+    patterns = np.asarray(patterns, dtype=np.float64)
+    if patterns.ndim == 2:
+        patterns = patterns[None]
+    elif patterns.ndim != 3 or patterns.shape[0] != windows.shape[0]:
+        raise ValueError(
+            f"patterns must be one (h, w) pattern or a stack matching the "
+            f"{windows.shape[0]} windows, got shape {patterns.shape}"
+        )
+    k, win_h, win_w = windows.shape
+    h, w = patterns.shape[1:]
+    if h > win_h or w > win_w:
+        raise ValueError(
+            f"pattern ({h}, {w}) larger than windows ({win_h}, {win_w})"
+        )
+    if spectra is None or energies is None:
+        kernels = (
+            patterns - patterns.mean(axis=(1, 2), keepdims=True)
+            if zero_mean else patterns
+        )
+    if fshape is None:
+        fshape = (
+            sp_fft.next_fast_len(win_h + h - 1, True),
+            sp_fft.next_fast_len(win_w + w - 1, True),
+        )
+    elif fshape[0] < win_h + h - 1 or fshape[1] < win_w + w - 1:
+        raise ValueError(
+            f"fshape {fshape} too small for windows ({win_h}, {win_w}) "
+            f"and pattern ({h}, {w})"
+        )
+    if spectra is None:
+        spectra = sp_fft.rfft2(kernels[:, ::-1, ::-1], s=fshape, axes=(-2, -1))
+    if energies is None:
+        energies = np.sum(kernels * kernels, axis=(1, 2))
+    energies = np.asarray(energies, dtype=np.float64).reshape(-1, 1, 1)
+
+    window_spectra = sp_fft.rfft2(windows, s=fshape, axes=(-2, -1))
+    full = sp_fft.irfft2(window_spectra * spectra, s=fshape, axes=(-2, -1))
+    numerator = full[:, h - 1 : win_h, w - 1 : win_w]
+    window_energy = _batched_window_sums(windows * windows, h, w)
+    np.clip(window_energy, 0.0, None, out=window_energy)
+    if zero_mean:
+        window_sum = _batched_window_sums(windows, h, w)
+        window_var = window_energy - window_sum**2 / (h * w)
+        np.clip(window_var, 0.0, None, out=window_var)
+        denom_map = window_var
+    else:
+        denom_map = window_energy
+    denom = np.sqrt(energies * denom_map)
+    response = _finalize_response(numerator, denom)
+    return np.max(response, axis=(1, 2))

@@ -6,10 +6,19 @@ of feature generation.  The paper adopts the classic pyramid method
 regions, then re-match at full resolution only inside those regions.
 
 The coarse-level gating (:func:`_coarse_ok`), peak suppression
-(:func:`_top_k_peaks`) and full-resolution refinement (:func:`_refine_peaks`)
-are factored out as helpers so the batched :class:`repro.imaging.engine.MatchEngine`
-can reuse them verbatim — the engine computes coarse response maps in batch
-but must select and refine candidates exactly like the per-call path here.
+(:func:`_top_k_peaks`) and full-resolution refinement are factored out as
+helpers so the batched :class:`repro.imaging.engine.MatchEngine` can reuse
+them verbatim — the engine computes coarse response maps in batch but must
+select and refine candidates exactly like the per-call path here.
+
+Refinement itself is split into two phases so the per-call and batched paths
+share one geometry: :func:`_refine_windows` is the pure *plan* step (coarse
+peak → clipped full-resolution window coordinates, no pixel access), and
+scoring those windows is the *execute* step.  The per-call
+:func:`_refine_peaks` executes with one scalar NCC per window; the engine
+executes the same window list with one batched NCC per window shape
+(:func:`repro.imaging.ncc.match_windows`).  Because both consume the same
+planned coordinates, candidate geometry can never fork between the paths.
 """
 
 from __future__ import annotations
@@ -19,13 +28,27 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.imaging.ncc import MatchResult, match_pattern, ncc_map
-from repro.imaging.ops import as_image, crop, downsample
+from repro.imaging.ops import as_image, downsample
 
-__all__ = ["pyramid_match", "PyramidMatcher"]
+__all__ = ["pyramid_match", "PyramidMatcher", "validate_pyramid_config"]
 
 # Below this pattern side length (after downsampling) the coarse level no
 # longer discriminates, so we fall back to exact matching.
 _MIN_COARSE_SIDE = 3
+
+
+def validate_pyramid_config(factor: int, candidates: int) -> None:
+    """Reject unusable pyramid parameters.
+
+    The single validator behind every raise-site — the per-call
+    :func:`pyramid_match` and the batched :class:`~repro.imaging.engine.MatchEngine`
+    constructor — so the two paths reject the same configurations with the
+    same message.
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if candidates < 1:
+        raise ValueError(f"candidates must be >= 1, got {candidates}")
 
 
 def _coarse_ok(
@@ -70,6 +93,42 @@ def _top_k_peaks(response: np.ndarray, k: int, min_distance: int) -> list[tuple[
     return peaks
 
 
+def _refine_windows(
+    image_shape: tuple[int, int],
+    pattern_shape: tuple[int, int],
+    peaks: list[tuple[int, int]],
+    factor: int,
+    margin: int,
+) -> list[tuple[int, int, int, int]]:
+    """Plan full-resolution refinement windows for coarse peaks (pure geometry).
+
+    Each coarse peak maps back to full resolution and claims a search window
+    of (pattern size + 2*margin), clipped to the image bounds; windows too
+    small to hold the pattern after clipping are dropped.  Returns one
+    ``(y0, x0, height, width)`` tuple per viable peak, in peak order.
+
+    This is the *plan* half of refinement: it touches no pixels, so the
+    per-call scalar path and the engine's batched path score exactly the
+    same windows.
+    """
+    ih, iw = image_shape
+    h, w = pattern_shape
+    win_h = h + 2 * margin
+    win_w = w + 2 * margin
+    windows: list[tuple[int, int, int, int]] = []
+    for cy, cx in peaks:
+        fy = cy * factor
+        fx = cx * factor
+        y0 = max(0, fy - margin)
+        x0 = max(0, fx - margin)
+        height = min(ih, y0 + win_h) - y0
+        width = min(iw, x0 + win_w) - x0
+        if height < h or width < w:
+            continue
+        windows.append((y0, x0, height, width))
+    return windows
+
+
 def _refine_peaks(
     image: np.ndarray,
     pattern: np.ndarray,
@@ -80,24 +139,16 @@ def _refine_peaks(
 ) -> MatchResult:
     """Re-match ``pattern`` at full resolution around each coarse peak.
 
-    Returns the best full-resolution match over all candidate windows, or a
-    sentinel with ``score < 0`` when no window could hold the pattern
-    (callers fall back to exact matching).
+    Executes the windows planned by :func:`_refine_windows` with one scalar
+    NCC per window.  Returns the best full-resolution match over all
+    candidate windows, or a sentinel with ``score < 0`` when no window could
+    hold the pattern (callers fall back to exact matching).
     """
-    h, w = pattern.shape
     best = MatchResult(score=-1.0, y=0, x=0)
-    for cy, cx in peaks:
-        # Map the coarse peak back to full resolution and search a window
-        # of (pattern size + 2*margin) around it.
-        fy = cy * factor
-        fx = cx * factor
-        y0 = max(0, fy - margin)
-        x0 = max(0, fx - margin)
-        win_h = h + 2 * margin
-        win_w = w + 2 * margin
-        window = crop(image, y0, x0, win_h, win_w)
-        if window.shape[0] < h or window.shape[1] < w:
-            continue
+    for y0, x0, height, width in _refine_windows(
+        image.shape, pattern.shape, peaks, factor, margin
+    ):
+        window = image[y0 : y0 + height, x0 : x0 + width]
         local = match_pattern(window, pattern, zero_mean=zero_mean)
         if local.score > best.score:
             best = MatchResult(score=local.score, y=y0 + local.y, x=x0 + local.x)
@@ -126,10 +177,7 @@ def pyramid_match(
     """
     image = as_image(image)
     pattern = as_image(pattern)
-    if factor < 1:
-        raise ValueError(f"factor must be >= 1, got {factor}")
-    if candidates < 1:
-        raise ValueError(f"candidates must be >= 1, got {candidates}")
+    validate_pyramid_config(factor, candidates)
     if not _coarse_ok(image.shape, pattern.shape, factor):
         return match_pattern(image, pattern, zero_mean=zero_mean)
 
@@ -162,6 +210,16 @@ class PyramidMatcher:
     candidates: int = 3
     enabled: bool = True
     zero_mean: bool = False
+
+    def validate(self) -> None:
+        """Reject unusable configs via the shared validator.
+
+        A disabled matcher never consults ``factor``/``candidates``, so it
+        validates nothing — mirroring the per-call path, which only checks
+        them when pyramid matching actually runs.
+        """
+        if self.enabled:
+            validate_pyramid_config(self.factor, self.candidates)
 
     def __call__(self, image: np.ndarray, pattern: np.ndarray) -> MatchResult:
         if not self.enabled:

@@ -55,7 +55,11 @@ def worker_main(
 
         pipeline = InspectorGadget.load(profile_path)
         for shape in warmup_shapes:
-            pipeline.feature_generator.warm(shape)
+            pinned = pipeline.feature_generator.warm(shape)
+            debug(f"worker {worker_id} warmed {tuple(shape)}: "
+                  f"{pinned['exact']} exact + {pinned['coarse']} coarse "
+                  f"columns, {pinned['refine_buffers']} refinement buffers "
+                  f"pinned")
         # Even with no warmup shapes, serving wants plans cached: the same
         # image shape arrives request after request.
         pipeline.feature_generator.engine.cache_plans = True

@@ -84,3 +84,58 @@ class TestBaselineRunners:
 
     def test_run_goggles_bounded(self, ctx):
         assert 0.0 <= run_goggles(ctx) <= 1.0
+
+
+class TestCachedArtifacts:
+    """The sweep drivers' artifact-store reuse (one crowd run / one feature
+    matrix on disk backing every grid cell)."""
+
+    def test_cached_artifact_hits_store(self, tmp_path):
+        from repro.eval.experiments import cached_artifact
+
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"value": np.arange(4)}
+
+        key = ("unit", 1, "abc", 7)
+        first = cached_artifact(str(tmp_path), key, compute)
+        second = cached_artifact(str(tmp_path), key, compute)
+        assert len(calls) == 1  # second call loaded from disk
+        np.testing.assert_array_equal(first["value"], second["value"])
+        # A different key recomputes.
+        cached_artifact(str(tmp_path), ("unit", 1, "abc", 8), compute)
+        assert len(calls) == 2
+        # No cache dir bypasses the store entirely.
+        cached_artifact(None, key, compute)
+        assert len(calls) == 3
+
+    def test_prepare_context_round_trips_through_store(self, tmp_path):
+        cold = prepare_context("ksdd", FAST_PROFILE, seed=5,
+                               cache_dir=str(tmp_path))
+        warm = prepare_context("ksdd", FAST_PROFILE, seed=5,
+                               cache_dir=str(tmp_path))
+        assert warm.crowd.dev_indices == cold.crowd.dev_indices
+        np.testing.assert_array_equal(warm.dataset.labels,
+                                      cold.dataset.labels)
+        # The warm context equals a store-free run bit for bit.
+        fresh = prepare_context("ksdd", FAST_PROFILE, seed=5)
+        assert fresh.crowd.dev_indices == warm.crowd.dev_indices
+        for a, b in zip(fresh.dataset.images, warm.dataset.images):
+            np.testing.assert_array_equal(a.image, b.image)
+
+    def test_context_features_cached_on_disk(self, tmp_path):
+        from repro.core.artifacts import ArtifactStore
+        from repro.eval.experiments import _context_features
+
+        ctx = prepare_context("ksdd", FAST_PROFILE, seed=5)
+        x_dev, x_test = _context_features(ctx, cache_dir=str(tmp_path))
+        assert len(ArtifactStore(tmp_path)) == 1
+        # A fresh context object (same content) loads the matrices from disk
+        # under the same key — no second entry appears.
+        ctx2 = prepare_context("ksdd", FAST_PROFILE, seed=5)
+        x_dev2, x_test2 = _context_features(ctx2, cache_dir=str(tmp_path))
+        assert len(ArtifactStore(tmp_path)) == 1
+        assert x_dev2.tobytes() == x_dev.tobytes()
+        assert x_test2.tobytes() == x_test.tobytes()

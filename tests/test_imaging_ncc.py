@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.imaging.ncc import match_pattern, ncc_map
+from repro.imaging.ncc import match_pattern, match_windows, ncc_map
 
 settings.register_profile("repro", max_examples=20, deadline=None)
 settings.load_profile("repro")
@@ -153,3 +153,90 @@ class TestMatchPattern:
         image = _plant(image, pattern, 10, 3)
         result = match_pattern(image, pattern, zero_mean=True)
         assert (result.y, result.x) == (10, 3)
+
+
+class TestMatchWindows:
+    """The batched same-shape window kernel against per-window match_pattern."""
+
+    @pytest.mark.parametrize("zero_mean", [False, True])
+    def test_one_pattern_many_windows(self, rng, zero_mean):
+        windows = np.stack([rng.random((18, 22)) for _ in range(5)])
+        pattern = rng.random((7, 9))
+        scores = match_windows(windows, pattern, zero_mean=zero_mean)
+        expected = [
+            match_pattern(win, pattern, zero_mean=zero_mean).score
+            for win in windows
+        ]
+        np.testing.assert_allclose(scores, expected, rtol=0, atol=1e-9)
+
+    @pytest.mark.parametrize("zero_mean", [False, True])
+    def test_pairwise_pattern_stack(self, rng, zero_mean):
+        """A (K, h, w) pattern stack scores each window against its own pattern."""
+        windows = np.stack([rng.random((16, 16)) for _ in range(4)])
+        patterns = np.stack([rng.random((6, 5)) for _ in range(4)])
+        scores = match_windows(windows, patterns, zero_mean=zero_mean)
+        expected = [
+            match_pattern(win, pat, zero_mean=zero_mean).score
+            for win, pat in zip(windows, patterns)
+        ]
+        np.testing.assert_allclose(scores, expected, rtol=0, atol=1e-9)
+
+    def test_planted_pattern_scores_one(self, rng):
+        pattern = rng.random((6, 6)) + 0.2
+        windows = np.stack([
+            _plant(rng.random((14, 14)) * 0.3, pattern, 4, 5),
+            rng.random((14, 14)),
+        ])
+        scores = match_windows(windows, pattern)
+        assert scores[0] == pytest.approx(1.0, abs=1e-9)
+        assert scores.shape == (2,)
+
+    def test_flat_windows_score_zero(self, rng):
+        windows = np.stack([np.zeros((12, 12)), np.full((12, 12), 0.5)])
+        pattern = rng.random((5, 5))
+        for zero_mean in (False, True):
+            scores = match_windows(windows, pattern, zero_mean=zero_mean)
+            assert np.isfinite(scores).all()
+            # Flat windows hit the shared _ENERGY_EPS rule exactly like the
+            # per-call kernels.
+            expected = [
+                match_pattern(win, pattern, zero_mean=zero_mean).score
+                for win in windows
+            ]
+            np.testing.assert_allclose(scores, expected, rtol=0, atol=1e-9)
+
+    def test_precomputed_spectra_handshake(self, rng):
+        """Pinned spectra/fshape/energies reproduce the self-computed scores."""
+        from scipy import fft as sp_fft
+
+        windows = np.stack([rng.random((20, 20)) for _ in range(3)])
+        pattern = rng.random((8, 8))
+        h, w = pattern.shape
+        fshape = (sp_fft.next_fast_len(20 + h - 1, True),
+                  sp_fft.next_fast_len(20 + w - 1, True))
+        spectrum = sp_fft.rfft2(pattern[::-1, ::-1], s=fshape)
+        energy = float(np.sum(pattern * pattern))
+        pinned = match_windows(windows, pattern, spectra=spectrum[None],
+                               fshape=fshape, energies=np.array([energy]))
+        plain = match_windows(windows, pattern)
+        np.testing.assert_allclose(pinned, plain, rtol=0, atol=1e-12)
+
+    def test_oversized_fshape_still_exact(self, rng):
+        """A larger-than-needed fshape (the engine's shared per-pattern-shape
+        size) changes scores by round-off only."""
+        windows = np.stack([rng.random((15, 15)) for _ in range(2)])
+        pattern = rng.random((6, 6))
+        plain = match_windows(windows, pattern)
+        padded = match_windows(windows, pattern, fshape=(36, 40))
+        np.testing.assert_allclose(padded, plain, rtol=0, atol=1e-9)
+
+    def test_invalid_inputs_rejected(self, rng):
+        with pytest.raises(ValueError, match="stack"):
+            match_windows(rng.random((10, 10)), rng.random((4, 4)))
+        with pytest.raises(ValueError, match="matching"):
+            match_windows(rng.random((3, 10, 10)), rng.random((2, 4, 4)))
+        with pytest.raises(ValueError, match="larger than windows"):
+            match_windows(rng.random((2, 6, 6)), rng.random((8, 8)))
+        with pytest.raises(ValueError, match="too small"):
+            match_windows(rng.random((2, 10, 10)), rng.random((4, 4)),
+                          fshape=(10, 10))

@@ -15,7 +15,7 @@ import pytest
 
 from repro.features import FeatureGenerator
 from repro.imaging.engine import MatchEngine
-from repro.imaging.pyramid import PyramidMatcher
+from repro.imaging.pyramid import PyramidMatcher, pyramid_match
 from repro.patterns import Pattern
 
 # The engine and the naive path use different FFT padding and different
@@ -137,6 +137,109 @@ class TestEdgeCaseEquivalence:
         assert batched[0, 0] == pytest.approx(expected, abs=TOL)
 
 
+class TestRefinementEquivalence:
+    """Pyramid refinement (the plan/execute batched stage) ≡ per-call path.
+
+    These cases target the refinement layer specifically: border peaks whose
+    windows clip, patterns the shrink rule touched, more candidates than
+    distinct peaks, the no-peak sentinel fallback, and unusual factors.
+    """
+
+    @pytest.mark.parametrize("zero_mean", [False, True])
+    def test_border_peaks_clipped_windows(self, rng, zero_mean):
+        """Patterns planted flush against every border and corner: the coarse
+        peaks map to windows the image boundary clips, which must group by
+        their actual (smaller) shape and still match the per-call scores."""
+        pattern = rng.random((12, 12))
+        images = []
+        h, w = pattern.shape
+        for oy, ox in [(0, 0), (0, 36), (36, 0), (36, 36), (0, 18), (18, 36)]:
+            image = rng.random((48, 48)) * 0.3
+            image[oy : oy + h, ox : ox + w] = pattern
+            images.append(image)
+        patterns = [Pattern(array=pattern), Pattern(array=rng.random((12, 14)))]
+        matcher = PyramidMatcher(factor=4, zero_mean=zero_mean)
+        naive = _naive_values(images, patterns, matcher)
+        batched = _batched_values(images, patterns, matcher)
+        np.testing.assert_allclose(batched, naive, rtol=0, atol=TOL)
+        # Corner plants align with the coarse grid, so refinement must
+        # recover them exactly (edge plants may decorrelate at the coarse
+        # level — a documented pyramid property, not a refinement bug).
+        assert batched[:4, 0].min() > 0.99
+
+    @pytest.mark.parametrize("factor", [2, 4])
+    def test_shrunk_patterns_refined(self, rng, factor):
+        """Patterns that fit_pattern_to_image shrank still refine identically
+        (their fitted shapes drive window geometry and pinned buffers)."""
+        images = [rng.random((40, 44)), rng.random((52, 36))]
+        patterns = [Pattern(array=rng.random((60, 20))),
+                    Pattern(array=rng.random((20, 60))),
+                    Pattern(array=rng.random((64, 64))),
+                    Pattern(array=rng.random((14, 14)))]
+        matcher = PyramidMatcher(factor=factor)
+        naive = _naive_values(images, patterns, matcher)
+        batched = _batched_values(images, patterns, matcher)
+        np.testing.assert_allclose(batched, naive, rtol=0, atol=TOL)
+
+    def test_candidates_exceed_distinct_peaks(self, rng):
+        """One strong peak in an otherwise flat image: far fewer coarse peaks
+        than requested candidates, on both paths."""
+        pattern = rng.random((12, 12)) + 0.2
+        image = np.zeros((64, 64))
+        image[24:36, 20:32] = pattern
+        matcher = PyramidMatcher(factor=4, candidates=10)
+        naive = _naive_values([image], [Pattern(array=pattern)], matcher)
+        batched = _batched_values([image], [Pattern(array=pattern)], matcher)
+        np.testing.assert_allclose(batched, naive, rtol=0, atol=TOL)
+        assert batched[0, 0] == pytest.approx(1.0, abs=TOL)
+
+    @pytest.mark.parametrize("zero_mean", [False, True])
+    def test_no_peak_fallback(self, rng, zero_mean):
+        """All-zero and constant images produce a non-positive coarse response
+        (no peaks), driving the sentinel fallback through the batched
+        full-resolution set; scores must match the per-call fallback."""
+        images = [np.zeros((48, 48)), np.full((48, 48), 0.25)]
+        patterns = [Pattern(array=rng.random((12, 12))),
+                    Pattern(array=np.zeros((14, 14)))]
+        matcher = PyramidMatcher(factor=4, zero_mean=zero_mean)
+        naive = _naive_values(images, patterns, matcher)
+        batched = _batched_values(images, patterns, matcher)
+        assert np.isfinite(batched).all()
+        np.testing.assert_allclose(batched, naive, rtol=0, atol=TOL)
+
+    @pytest.mark.parametrize("factor", [1, 5, 7])
+    def test_factor_edge_cases(self, factor):
+        """factor=1 (coarse level disabled everywhere) and large factors
+        (mixed eligibility, tiny coarse maps) stay equivalent."""
+        images, patterns = _random_case(404 + factor)
+        matcher = PyramidMatcher(factor=factor)
+        naive = _naive_values(images, patterns, matcher)
+        batched = _batched_values(images, patterns, matcher)
+        np.testing.assert_allclose(batched, naive, rtol=0, atol=TOL)
+
+
+class TestSharedValidation:
+    """One validator behind both raise-sites (per-call and engine ctor)."""
+
+    def test_messages_and_sites_match(self, rng):
+        image, pattern = rng.random((30, 30)), rng.random((8, 8))
+        for kwargs in (dict(factor=0), dict(candidates=0)):
+            with pytest.raises(ValueError) as per_call:
+                pyramid_match(image, pattern, **kwargs)
+            with pytest.raises(ValueError) as ctor:
+                MatchEngine(PyramidMatcher(**kwargs))
+            assert str(per_call.value) == str(ctor.value)
+
+    def test_matcher_validate(self):
+        with pytest.raises(ValueError, match="factor"):
+            PyramidMatcher(factor=0).validate()
+        with pytest.raises(ValueError, match="candidates"):
+            PyramidMatcher(candidates=-1).validate()
+        PyramidMatcher().validate()
+        # Disabled matchers never consult factor/candidates — no checks.
+        PyramidMatcher(enabled=False, factor=0).validate()
+
+
 class TestMatchEngineApi:
     def test_engine_scores_match_per_call_matcher(self, rng):
         matcher = PyramidMatcher(factor=2)
@@ -198,8 +301,10 @@ class TestDeterminism:
         images, patterns = _random_case(202)
         matcher = _matcher(mode, zero_mean=False)
         serial = _batched_values(images, patterns, matcher, n_jobs=1)
+        two = _batched_values(images, patterns, matcher, n_jobs=2)
         threaded = _batched_values(images, patterns, matcher, n_jobs=4)
         all_cpus = _batched_values(images, patterns, matcher, n_jobs=-1)
+        assert serial.tobytes() == two.tobytes()
         assert serial.tobytes() == threaded.tobytes()
         assert serial.tobytes() == all_cpus.tobytes()
 
