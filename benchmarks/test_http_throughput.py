@@ -1,0 +1,169 @@
+"""HTTP transport overhead benchmark: imgs/sec over TCP vs in-process.
+
+Fits one profile on the bench KSDD workload, brings up a 2-worker
+:class:`repro.serving.ServingPool`, and serves the same fixed image stream
+two ways: straight through the in-process dispatcher (``pool.predict``) and
+over the HTTP front end (:func:`repro.serving.serve_http`) — once as one
+batch request per pass and once as concurrent single-image clients, the
+shape real non-Python callers produce.  Every HTTP response is parsed back
+to float64 and checked byte-identical to the in-process answer (JSON floats
+round-trip exactly), so the overhead number can never hide an answer drift.
+
+The acceptance gate is the batch row: HTTP throughput must hold >= 75% of
+in-process dispatch (transport overhead <= 25%) — JSON + base64 codec and
+socket cost must stay small against the NCC feature work that dominates a
+request.  The concurrent-clients row is recorded for visibility (it also
+pays per-request HTTP round-trips and the micro-batching wait) but only
+gated loosely, since its cost model depends on client count.
+
+Results land in ``benchmarks/results/http_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from _common import BENCH, emit
+from repro.core.pipeline import InspectorGadget
+from repro.datasets.registry import make_dataset
+from repro.eval.experiments import build_ig_config
+from repro.serving import ServingPool, serve_http
+from repro.serving.protocol import encode_image
+from repro.utils.tables import format_table
+
+STREAM_LEN = 64     # images per measured pass
+N_CLIENTS = 8       # concurrent single-image HTTP clients
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def http_workload(tmp_path_factory):
+    """A saved profile plus the image stream every pass serves."""
+    profile = replace(BENCH, n_images=60, target_defective=6)
+    dataset = make_dataset("ksdd", scale=profile.scale, seed=0,
+                           n_images=profile.n_images)
+    config = build_ig_config(profile, mode="none")
+    ig = InspectorGadget(config)
+    ig.fit(dataset)
+    path = ig.save(tmp_path_factory.mktemp("http-bench") / "bench.igz")
+    pool_images = [item.image for item in dataset.images]
+    stream = [pool_images[i % len(pool_images)] for i in range(STREAM_LEN)]
+    return path, dataset.image_shape, stream
+
+
+def _post_label(url: str, payload: dict) -> np.ndarray:
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url + "/v1/label", data=body, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=600) as resp:
+        return np.array(json.loads(resp.read())["probs"], dtype=np.float64)
+
+
+def test_http_throughput(http_workload):
+    profile_path, image_shape, stream = http_workload
+    encoded = [encode_image(image) for image in stream]
+
+    # Per-request references for the single-image clients: the pool's
+    # guarantee is per *request* (a single-image request matches a
+    # single-image predict — not a row sliced out of a larger request,
+    # whose labeler matmul rounds differently by batch shape).
+    reference = InspectorGadget.load(profile_path)
+    reference.warmup([image_shape])
+    single_bytes = [reference.predict([image]).probs.tobytes()
+                    for image in stream]
+
+    with ServingPool(profile_path, workers=WORKERS, max_batch=8,
+                     max_wait_ms=2.0,
+                     warmup_shapes=(image_shape,)) as pool:
+        # In-process dispatcher anchor (and the byte-identity reference).
+        pool.predict(stream[:8])  # warm the dispatch path
+        t0 = time.perf_counter()
+        expected = pool.predict(stream)
+        inproc_s = time.perf_counter() - t0
+        inproc_s = min(inproc_s, _timed(lambda: pool.predict(stream)))
+        expected_bytes = expected.probs.tobytes()
+
+        with serve_http(pool, host="127.0.0.1", port=0) as front:
+            # One batch request per pass: the transport cost is one JSON
+            # encode/decode + one socket round-trip over the same dispatch.
+            probs = _post_label(front.url, {"images": encoded})
+            assert probs.tobytes() == expected_bytes, (
+                "HTTP batch response diverged from in-process dispatch"
+            )
+            http_batch_s = min(
+                _timed(lambda: _post_label(front.url, {"images": encoded}))
+                for _ in range(2)
+            )
+
+            # Concurrent single-image clients: N_CLIENTS threads each walk
+            # their slice of the stream, one HTTP request per image, and
+            # the dispatcher coalesces across them.
+            def concurrent_pass() -> None:
+                errors: list[BaseException] = []
+
+                def client(worker: int) -> None:
+                    try:
+                        for i in range(worker, len(stream), N_CLIENTS):
+                            probs = _post_label(
+                                front.url, {"image": encoded[i]}
+                            )
+                            assert probs.tobytes() == single_bytes[i]
+                    except BaseException as exc:
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=client, args=(w,))
+                           for w in range(N_CLIENTS)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert not errors, errors[:1]
+
+            http_conc_s = _timed(concurrent_pass)
+
+    inproc_thr = len(stream) / inproc_s
+    batch_thr = len(stream) / http_batch_s
+    conc_thr = len(stream) / http_conc_s
+    rows = [
+        ["in-process dispatch", f"{inproc_thr:.1f}", "--"],
+        ["HTTP, 1 batch request", f"{batch_thr:.1f}",
+         f"{(1 - batch_thr / inproc_thr) * 100:+.1f}%"],
+        [f"HTTP, {N_CLIENTS} single-image clients", f"{conc_thr:.1f}",
+         f"{(1 - conc_thr / inproc_thr) * 100:+.1f}%"],
+    ]
+    emit("http_throughput", format_table(
+        ["Transport", "imgs/sec", "overhead vs in-process"],
+        rows,
+        title=f"HTTP front-end throughput (ksdd bench profile, "
+              f"{len(stream)} images per pass, {WORKERS}-worker pool, "
+              f"max_batch=8; every response byte-identical to in-process)",
+    ))
+
+    # Acceptance: transport overhead <= 25% on the batch-shaped pass.
+    assert batch_thr >= 0.75 * inproc_thr, (
+        f"HTTP batch throughput {batch_thr:.1f} imgs/sec is below 75% of "
+        f"in-process dispatch {inproc_thr:.1f} imgs/sec "
+        f"({(1 - batch_thr / inproc_thr) * 100:.1f}% overhead)"
+    )
+    # Concurrent single-image clients pay per-request round-trips and the
+    # coalescing window; keep a loose floor so a pathological regression
+    # (e.g. requests serialized end to end) still fails.
+    assert conc_thr >= 0.35 * inproc_thr, (
+        f"concurrent HTTP clients fell to {conc_thr / inproc_thr:.2f}x of "
+        "in-process dispatch — per-request overhead is out of hand"
+    )
+
+
+def _timed(call) -> float:
+    t0 = time.perf_counter()
+    call()
+    return time.perf_counter() - t0

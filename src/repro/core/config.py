@@ -42,6 +42,14 @@ class ServingConfig:
     ``warmup_shapes`` lists image shapes (height, width) whose matching
     plans each worker precomputes at startup, so the first request for
     those shapes pays no planning cost.
+
+    ``http_host``/``http_port`` are the default bind address of the HTTP
+    front end (:func:`repro.serving.http.serve_http`); port ``0`` binds an
+    ephemeral port, readable back from the front end.  The default host is
+    loopback — exposing a pool beyond the machine is an explicit decision
+    (``0.0.0.0``), not a default.  ``max_request_bytes`` bounds an HTTP
+    request body; larger requests are refused with 413 before being read,
+    so one misbehaving client cannot balloon parent memory.
     """
 
     workers: int = 2
@@ -52,6 +60,9 @@ class ServingConfig:
     start_timeout_s: float = 120.0
     request_timeout_s: float = 300.0
     warmup_shapes: tuple[tuple[int, int], ...] = ()
+    http_host: str = "127.0.0.1"
+    http_port: int = 8765
+    max_request_bytes: int = 64 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -88,6 +99,21 @@ class ServingConfig:
                     "warmup_shapes entries must be (height, width) pairs of "
                     f"positive ints, got {shape!r}"
                 )
+        if not isinstance(self.http_host, str) or not self.http_host:
+            raise ValueError(
+                f"http_host must be a non-empty host string, "
+                f"got {self.http_host!r}"
+            )
+        if not 0 <= self.http_port <= 65535:
+            raise ValueError(
+                f"http_port must be in [0, 65535] (0 = ephemeral), "
+                f"got {self.http_port}"
+            )
+        if self.max_request_bytes < 1024:
+            raise ValueError(
+                "max_request_bytes must be >= 1024 (one image envelope "
+                f"never fits below that), got {self.max_request_bytes}"
+            )
 
 
 @dataclass

@@ -28,8 +28,18 @@ Lifecycle is product surface: warmup before ready, :meth:`ServingPool.health`
 :meth:`ServingPool.shutdown` for graceful exits, and crashed workers are
 respawned (in-flight work resubmitted) within a bounded budget.
 
+Transports stack on top of the same ``submit``: :func:`serve_http`
+(:mod:`repro.serving.http`) exposes the pool over TCP for non-Python
+clients — ``POST /v1/label``, ``GET /healthz``, ``GET /profile``,
+``POST /admin/drain`` — and the stdin-JSONL daemon serves pipelines.
+All of them validate requests and shape errors through one module
+(:mod:`repro.serving.protocol`), so a bad request gets the same answer no
+matter how it arrived.
+
 ``python -m repro.serving --profile p.igz --workers 4`` serves from the
-command line; see :mod:`repro.serving.cli`.
+command line (``--images``/``--stdin``/``--http HOST:PORT``); see
+:mod:`repro.serving.cli`.  The prose map of this whole stack lives in
+``docs/architecture.md``; the HTTP API reference in ``docs/serving.md``.
 """
 
 from repro.core.config import ServingConfig
@@ -38,7 +48,9 @@ from repro.serving.dispatcher import (
     PendingPrediction,
     ServingError,
 )
+from repro.serving.http import HttpFrontEnd, serve_http
 from repro.serving.pool import PoolHealth, ServingPool, WorkerStatus
+from repro.serving.protocol import RequestError
 
 __all__ = [
     "ServingPool",
@@ -46,6 +58,9 @@ __all__ = [
     "Dispatcher",
     "PendingPrediction",
     "ServingError",
+    "RequestError",
+    "HttpFrontEnd",
+    "serve_http",
     "PoolHealth",
     "WorkerStatus",
 ]

@@ -1,15 +1,27 @@
 """Command-line serving entry point: ``python -m repro.serving``.
 
-Loads a saved profile into a multi-process pool and labels images with it.
-Two input modes:
+Loads a saved profile into a multi-process pool and serves it.  Three
+mutually exclusive modes:
 
 * ``--images a.npy b.npy ...`` — label the given arrays in one batch
   request, print one ``path<TAB>label<TAB>confidence`` line per image, and
   optionally write the full probabilities with ``--output out.npz``.
 * ``--stdin`` — daemon loop: read one ``.npy`` path per line on stdin,
   answer each with a JSON object on stdout (``{"path", "label",
-  "confidence", "probs"}``).  Pipe-friendly: a supervisor writes paths,
-  reads responses, and closes stdin to stop the daemon.
+  "confidence", "probs"}``, or ``{"path", "error": {code, message,
+  status}}`` — the same error envelope the HTTP front end sends).
+  Pipe-friendly: a supervisor writes paths, reads responses, and closes
+  stdin to stop the daemon.
+* ``--http HOST:PORT`` — TCP daemon: serve the pool over HTTP
+  (:mod:`repro.serving.http`; API reference in ``docs/serving.md``).
+  Port ``0`` binds an ephemeral port; the actually bound URL is printed
+  as ``serving HTTP on http://host:port`` on stdout, so a supervisor can
+  parse it.  Runs until ``POST /admin/drain`` (exit 0) or SIGINT.
+
+Exit codes (supervisor contract): ``0`` success/clean drain, ``1`` a
+request or transport failure with a live pool, ``2`` usage errors (bad
+flag values, unreadable profile), ``3`` the pool itself failed (startup
+failure or respawn budget exhausted — restart the daemon).
 
 Examples::
 
@@ -17,6 +29,8 @@ Examples::
         --images shots/*.npy --output weak.npz
     printf '%s\n' shots/*.npy | \
         python -m repro.serving --profile ksdd.igz --workers 2 --stdin
+    python -m repro.serving --profile ksdd.igz --workers 4 \
+        --http 127.0.0.1:8765
 """
 
 from __future__ import annotations
@@ -30,12 +44,15 @@ import numpy as np
 from repro.core.config import ServingConfig
 from repro.core.pipeline import ProfileError
 from repro.serving.dispatcher import ServingError
+from repro.serving.http import serve_http
 from repro.serving.pool import ServingPool
+from repro.serving.protocol import envelope_for, response_payload
 
 __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.serving`` argument parser (all modes/flags)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.serving",
         description="Serve a saved Inspector Gadget profile from a "
@@ -56,18 +73,39 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--start-method", default="spawn",
                         choices=("spawn", "fork", "forkserver"),
                         help="multiprocessing start method (default: spawn)")
+    parser.add_argument("--max-request-bytes", type=int, default=None,
+                        help="with --http: reject request bodies larger "
+                             "than this with 413 (default: 64 MiB)")
+    parser.add_argument("--request-timeout-s", type=float, default=None,
+                        help="per-request response deadline in seconds; "
+                             "--http answers 504 past it (default: 300)")
     mode = parser.add_mutually_exclusive_group(required=True)
     mode.add_argument("--images", nargs="+", metavar="NPY",
                       help="label these .npy image files in one batch")
     mode.add_argument("--stdin", action="store_true",
                       help="daemon mode: read one .npy path per line on "
                            "stdin, answer with JSON lines on stdout")
+    mode.add_argument("--http", metavar="HOST:PORT",
+                      help="daemon mode: serve the pool over HTTP on this "
+                           "address (port 0 = ephemeral; the bound URL is "
+                           "printed on stdout); runs until POST "
+                           "/admin/drain or SIGINT")
     parser.add_argument("--output", metavar="NPZ",
                         help="with --images: also write probs/labels to "
                              "this .npz file")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the startup/health banner on stderr")
     return parser
+
+
+def _parse_host_port(value: str) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` flag value; raises ValueError on bad input."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"--http takes HOST:PORT (e.g. 127.0.0.1:8765), got {value!r}"
+        )
+    return host, int(port)
 
 
 def _load_image(path: str) -> np.ndarray:
@@ -100,14 +138,25 @@ def _run_images(pool: ServingPool, paths: list[str], output: str | None,
 
 
 def _run_stdin(pool: ServingPool, out) -> int:
+    """The JSONL daemon loop; one request per stdin line.
+
+    Validation and error envelopes are the HTTP front end's
+    (:func:`repro.serving.protocol.envelope_for` over the shared
+    ``coerce_images`` validator inside ``pool.predict``), so a malformed
+    image is reported with the identical code/message/status on both
+    transports — pinned by a message-equality test.
+    """
     for line in sys.stdin:
         path = line.strip()
         if not path:
             continue
         try:
-            weak = pool.predict(_load_image(path))
+            # One path = one single-image request, wrapped exactly like
+            # HTTP's {"image": ...} form so a bad array yields the same
+            # validation message on both transports.
+            weak = pool.predict([np.load(path)])
         except (OSError, ValueError, ServingError, TimeoutError) as exc:
-            print(json.dumps({"path": path, "error": str(exc)}),
+            print(json.dumps({"path": path, **envelope_for(exc)}),
                   file=out, flush=True)
             if pool.health().failure is not None:
                 # The pool is terminally failed (e.g. respawn budget
@@ -118,25 +167,59 @@ def _run_stdin(pool: ServingPool, out) -> int:
                       f"{pool.health().failure}", file=sys.stderr)
                 return 3
             continue
+        payload = response_payload(weak)
         print(json.dumps({
             "path": path,
-            "label": int(weak.labels[0]),
-            "confidence": float(weak.confidence[0]),
-            "probs": [float(p) for p in weak.probs[0]],
+            "label": payload["labels"][0],
+            "confidence": payload["confidence"][0],
+            "probs": payload["probs"][0],
         }), file=out, flush=True)
     return 0
 
 
+def _run_http(pool: ServingPool, out) -> int:
+    """The HTTP daemon loop: bind, announce, block until drained.
+
+    Host/port come from ``pool.config`` (``main`` parsed the ``--http``
+    flag into it, so the address went through ServingConfig validation).
+    """
+    front = serve_http(pool)
+    try:
+        print(f"serving HTTP on {front.url}", file=out, flush=True)
+        try:
+            front.wait_drained()
+        except KeyboardInterrupt:
+            print("interrupt: draining in-flight requests", file=sys.stderr)
+            front.drain(timeout=30.0)
+        return 0
+    finally:
+        front.close()
+
+
 def main(argv: list[str] | None = None, stdout=None) -> int:
+    """CLI entry point; returns the process exit code (see module doc)."""
     args = build_parser().parse_args(argv)
     out = sys.stdout if stdout is None else stdout
     try:
+        overrides = {}
+        if args.http is not None:
+            # Through ServingConfig so the address gets the same
+            # validation as every other knob (port range, non-empty
+            # host) — a bad --http value is a usage error, exit 2.
+            host, port = _parse_host_port(args.http)
+            overrides["http_host"] = host
+            overrides["http_port"] = port
+        if args.max_request_bytes is not None:
+            overrides["max_request_bytes"] = args.max_request_bytes
+        if args.request_timeout_s is not None:
+            overrides["request_timeout_s"] = args.request_timeout_s
         config = ServingConfig(
             workers=args.workers,
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             max_respawns=args.max_respawns,
             start_method=args.start_method,
+            **overrides,
         )
     except ValueError as exc:
         # ServingConfig validates at construction; a bad flag value is a
@@ -161,6 +244,8 @@ def main(argv: list[str] | None = None, stdout=None) -> int:
             _banner(pool, sys.stderr)
         if args.stdin:
             return _run_stdin(pool, out)
+        if args.http is not None:
+            return _run_http(pool, out)
         return _run_images(pool, args.images, args.output, out)
     except (OSError, ValueError, ServingError, TimeoutError) as exc:
         if pool.health().failure is not None:

@@ -70,7 +70,11 @@ class ServingError(RuntimeError):
 
 
 class PendingPrediction:
-    """Handle for one in-flight request; resolved by the collect loop."""
+    """Handle for one in-flight request; resolved by the collect loop.
+
+    Returned by :meth:`ServingPool.submit`; thread-safe (any thread may
+    poll :meth:`done` or block in :meth:`result`).
+    """
 
     def __init__(self, n_images: int):
         self.n_images = n_images
@@ -79,10 +83,25 @@ class PendingPrediction:
         self._error: BaseException | None = None
 
     def done(self) -> bool:
+        """Whether the request has settled (resolved *or* failed)."""
         return self._event.is_set()
 
     def result(self, timeout: float | None = None) -> WeakLabels:
-        """Block for the response; raises the request's failure if it had one."""
+        """Block for the response.
+
+        Args:
+            timeout: seconds to wait; ``None`` waits indefinitely.
+
+        Returns:
+            The request's :class:`~repro.labeler.weak_labels.WeakLabels`.
+
+        Raises:
+            TimeoutError: the request did not settle within ``timeout``
+                (it stays in flight; calling again may still succeed).
+            ServingError: the request failed (worker error, pool failure
+                or shutdown) — the failure is sticky and re-raised on
+                every call.
+        """
         if not self._event.wait(timeout):
             raise TimeoutError(
                 f"serving request not completed within {timeout}s"
@@ -182,7 +201,15 @@ class Dispatcher:
     # -- intake ---------------------------------------------------------------
 
     def submit(self, images: list[np.ndarray]) -> PendingPrediction:
-        """Queue a request; the dispatch loop takes it from here."""
+        """Queue a validated request; the dispatch loop takes it from here.
+
+        ``images`` must already be validated/coerced (the pool's
+        :meth:`~repro.serving.pool.ServingPool.submit` runs
+        :func:`repro.serving.protocol.coerce_images` first — every
+        transport funnels through it).  Returns the request's
+        :class:`PendingPrediction`; raises :class:`ServingError` when the
+        pool is refusing work (draining/shut down) or terminally failed.
+        """
         with self._lock:
             if self._failure is not None:
                 raise self._failure
@@ -486,7 +513,12 @@ class Dispatcher:
             self._refusing = reason
 
     def drain(self, timeout: float | None = None) -> bool:
-        """Stop intake and wait for every in-flight request to settle."""
+        """Stop intake and wait for every in-flight request to settle.
+
+        Returns ``True`` when the last request settled within ``timeout``
+        seconds (``None`` waits indefinitely); on ``False`` the remaining
+        requests keep running and a later drain/shutdown deals with them.
+        """
         self.refuse("draining")
         with self._settled_cond:
             return self._settled_cond.wait_for(

@@ -1,0 +1,428 @@
+"""HTTP front end: the serving pool on a TCP socket, stdlib-only.
+
+:func:`serve_http` puts a :class:`~repro.serving.pool.ServingPool` behind a
+threaded ``http.server`` so non-Python clients can reach it::
+
+    with ServingPool("ksdd.igz", workers=4) as pool:
+        with serve_http(pool, host="127.0.0.1", port=8765) as front:
+            print(front.url)          # http://127.0.0.1:8765
+            front.wait_drained()      # block until POST /admin/drain
+
+Endpoints (full reference with schemas and a curl walkthrough in
+``docs/serving.md``):
+
+``POST /v1/label``
+    Label one image (``{"image": ...}``) or a batch (``{"images":
+    [...]}``); images are nested number lists or base64 envelopes
+    (:func:`repro.serving.protocol.encode_image`).  Each HTTP request
+    becomes one ``Dispatcher.submit``, so concurrent HTTP clients are
+    micro-batched across workers exactly like in-process callers — and the
+    response probabilities parse back into float64 **byte-identical** to
+    single-process ``predict``.
+``GET /healthz``
+    Worker liveness/readiness from :meth:`ServingPool.health` (200 when
+    every worker is alive and ready, 503 otherwise); add ``?ping=1`` to
+    include per-worker round-trip times from :meth:`ServingPool.ping`.
+``GET /profile``
+    The loaded profile's ``serving_fingerprint()`` plus its tuning summary
+    and the pool's dispatch knobs — what a router needs to know which
+    hosts serve identical answers.
+``POST /admin/drain``
+    Graceful shutdown: new label requests are refused with 503 while
+    every in-flight request completes; the response reports whether the
+    drain finished in time, and :meth:`HttpFrontEnd.wait_drained` unblocks
+    so the owner can tear the pool down.
+
+Error contract: every failure is ``{"error": {"code", "message",
+"status"}}`` (:mod:`repro.serving.protocol`), with distinct status codes —
+400 malformed payload, 404 unknown path, 405 wrong method, 411 missing
+length, 413 oversized request, 503 draining/failed pool, 504 request
+timeout.  One request can never affect another: validation happens before
+``submit`` (a bad image fails only its own request), and each request's
+images are validated by the same :func:`~repro.serving.protocol.
+coerce_images` the in-process and stdin front ends use, so error messages
+match across transports.
+
+Threading model: ``ThreadingHTTPServer`` runs one daemon thread per
+connection; handler threads block in ``pool.predict`` while the
+dispatcher's own threads coalesce their requests into micro-batches.  The
+accept loop runs in a background thread owned by :class:`HttpFrontEnd`;
+nothing here touches worker processes directly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.serving.dispatcher import ServingError, debug
+from repro.serving.protocol import (
+    RequestError,
+    decode_image,
+    envelope_for,
+    error_envelope,
+    parse_label_request,
+    response_payload,
+)
+
+__all__ = ["HttpFrontEnd", "serve_http"]
+
+
+class HttpFrontEnd:
+    """A running HTTP server bound to one pool; returned by :func:`serve_http`.
+
+    Owns the listening socket and its accept-loop thread.  The pool is
+    *not* owned: closing the front end stops the HTTP surface but leaves
+    the pool running (the CLI and tests shut the pool down themselves).
+    Usable as a context manager (``close`` on exit).
+    """
+
+    def __init__(self, pool, host: str, port: int,
+                 max_request_bytes: int, request_timeout_s: float):
+        self.pool = pool
+        self.max_request_bytes = max_request_bytes
+        self.request_timeout_s = request_timeout_s
+        self._drained = threading.Event()
+        self._refusing: str | None = None
+        self._lock = threading.Lock()
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.front = self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="serving-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — the actual port when 0 was asked."""
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should target, e.g. ``http://127.0.0.1:8765``."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Refuse new label requests, then wait for in-flight ones.
+
+        Idempotent.  Returns ``True`` when every outstanding request
+        settled within ``timeout`` seconds (``None`` waits indefinitely).
+        The server itself keeps answering ``/healthz`` and ``/profile``
+        afterwards — observability must survive a drain — and
+        :meth:`wait_drained` unblocks either way.  (``POST /admin/drain``
+        uses the split :meth:`_drain_pool` + event so its response is on
+        the wire before the daemon owner starts tearing down.)
+        """
+        done = self._drain_pool(timeout)
+        self._drained.set()
+        return done
+
+    def _drain_pool(self, timeout: float | None) -> bool:
+        """The drain work without signalling :meth:`wait_drained` waiters."""
+        with self._lock:
+            self._refusing = "draining"
+        return self.pool.drain(timeout)
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        """Block until a drain completed; ``True`` if it did within timeout."""
+        return self._drained.wait(timeout)
+
+    def refusing(self) -> str | None:
+        """Why label requests are being refused, or ``None`` when serving."""
+        with self._lock:
+            return self._refusing
+
+    def close(self) -> None:
+        """Stop accepting connections and join the accept loop. Idempotent."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "HttpFrontEnd":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def serve_http(pool, host: str | None = None, port: int | None = None, *,
+               max_request_bytes: int | None = None,
+               request_timeout_s: float | None = None) -> HttpFrontEnd:
+    """Expose ``pool`` over HTTP; returns the running :class:`HttpFrontEnd`.
+
+    Args:
+        pool: a started :class:`~repro.serving.pool.ServingPool`.
+        host: interface to bind (default ``pool.config.http_host``).
+        port: TCP port to bind; ``0`` picks an ephemeral port, readable
+            back from :attr:`HttpFrontEnd.address` (default
+            ``pool.config.http_port``).
+        max_request_bytes: reject request bodies larger than this with
+            413 before reading them (default
+            ``pool.config.max_request_bytes``).
+        request_timeout_s: per-request bound on waiting for the pool's
+            response; an overrun answers 504 (default
+            ``pool.config.request_timeout_s``).
+
+    Returns:
+        The bound front end, its accept loop already running.
+
+    Raises:
+        OSError: the address cannot be bound (port taken, bad host).
+    """
+    config = pool.config
+    front = HttpFrontEnd(
+        pool,
+        host=config.http_host if host is None else host,
+        port=config.http_port if port is None else port,
+        max_request_bytes=(config.max_request_bytes
+                           if max_request_bytes is None else max_request_bytes),
+        request_timeout_s=(config.request_timeout_s
+                           if request_timeout_s is None else request_timeout_s),
+    )
+    debug(f"http front end listening on {front.url}")
+    return front
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route table and wire plumbing; one instance per connection."""
+
+    server_version = "InspectorGadgetServing/1.0"
+    protocol_version = "HTTP/1.1"  # keep-alive; responses carry Content-Length
+
+    @property
+    def front(self) -> HttpFrontEnd:
+        return self.server.front
+
+    def setup(self) -> None:
+        # Socket timeout (BaseHTTPRequestHandler honors self.timeout):
+        # without it, a client that announces Content-Length but stalls
+        # mid-body would pin this handler thread forever.  A stalled read
+        # surfaces as TimeoutError in _read_body (answered 408) or, while
+        # idle between keep-alive requests, closes the connection.
+        self.timeout = self.front.request_timeout_s
+        super().setup()
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        debug(f"http {self.address_string()} {format % args}")
+
+    # -- routes ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server's contract)
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
+            self._healthz(parse_qs(parsed.query))
+        elif parsed.path == "/profile":
+            self._profile()
+        elif parsed.path == "/v1/label":
+            self._send_error_envelope(
+                405, "method_not_allowed",
+                "use POST for /v1/label",
+            )
+        else:
+            self._send_error_envelope(
+                404, "not_found", f"unknown path {parsed.path!r}"
+            )
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = urlparse(self.path).path
+        if path == "/v1/label":
+            self._label()
+        elif path == "/admin/drain":
+            self._drain()
+        elif path in ("/healthz", "/profile"):
+            # Responding without reading the POST body: close the
+            # connection so the unread bytes cannot poison keep-alive
+            # framing (the next request would parse them as its request
+            # line).  Same below and on every refused-unread path.
+            self.close_connection = True
+            self._send_error_envelope(
+                405, "method_not_allowed", f"use GET for {path}"
+            )
+        else:
+            self.close_connection = True
+            self._send_error_envelope(
+                404, "not_found", f"unknown path {path!r}"
+            )
+
+    # -- endpoint bodies ------------------------------------------------------
+
+    def _label(self) -> None:
+        refusing = self.front.refusing()
+        if refusing is not None:
+            # Refused without reading the body: close the connection so
+            # the unread bytes cannot poison keep-alive framing.
+            self.close_connection = True
+            self._send_error_envelope(
+                503, "unavailable",
+                f"serving pool is not accepting requests ({refusing})",
+            )
+            return
+        body = self._read_body()
+        if body is None:
+            return  # error already sent
+        try:
+            payload = json.loads(body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_error_envelope(
+                400, "bad_request", f"request body is not valid JSON ({exc})"
+            )
+            return
+        try:
+            entries = parse_label_request(payload)
+            # predict() runs the shared coerce_images validator on these
+            # decoded arrays — don't validate twice here.
+            weak = self.front.pool.predict(
+                [decode_image(e) for e in entries],
+                timeout=self.front.request_timeout_s,
+            )
+        except (RequestError, ValueError, ServingError,
+                TimeoutError) as exc:
+            self._send_json_envelope(envelope_for(exc))
+            return
+        self._send_json(200, response_payload(weak))
+
+    def _healthz(self, query: dict) -> None:
+        health = self.front.pool.health()
+        payload = {
+            "ok": health.ok,
+            "draining": self.front.refusing() is not None,
+            "pending_requests": health.pending_requests,
+            "respawns_left": health.respawns_left,
+            "failure": health.failure,
+            "workers": [
+                {
+                    "worker_id": w.worker_id,
+                    "pid": w.pid,
+                    "alive": w.alive,
+                    "ready": w.ready,
+                    "outstanding_tasks": w.outstanding_tasks,
+                    "outstanding_images": w.outstanding_images,
+                    "tasks_done": w.tasks_done,
+                }
+                for w in health.workers
+            ],
+        }
+        if query.get("ping"):
+            try:
+                rtts = self.front.pool.ping(timeout=2.0)
+            except ServingError:
+                rtts = {}
+            payload["ping_ms"] = {
+                str(worker_id): rtt * 1000.0
+                for worker_id, rtt in sorted(rtts.items())
+            }
+        # Liveness contract for probes/load-balancers: 200 only while the
+        # pool can actually answer label requests.
+        self._send_json(200 if health.ok else 503, payload)
+
+    def _profile(self) -> None:
+        self._send_json(200, self.front.pool.profile_summary())
+
+    def _drain(self) -> None:
+        body = self._read_body(allow_empty=True)
+        if body is None:
+            return
+        timeout: float | None = None
+        if body:
+            try:
+                payload = json.loads(body)
+                if not isinstance(payload, dict):
+                    raise ValueError("drain body must be a JSON object")
+                timeout = payload.get("timeout")
+                if timeout is not None:
+                    timeout = float(timeout)
+            except (json.JSONDecodeError, UnicodeDecodeError,
+                    TypeError, ValueError) as exc:
+                self._send_error_envelope(
+                    400, "bad_request", f"invalid drain body ({exc})"
+                )
+                return
+        drained = self.front._drain_pool(timeout)
+        pending = self.front.pool.health().pending_requests
+        # Respond before signalling wait_drained(): the daemon owner tears
+        # the process down on that signal, and the supervisor that asked
+        # for the drain must get its {"drained": ...} reply first.  The
+        # finally guarantees the signal even on a broken client socket —
+        # a drain must never wedge the daemon's exit path.
+        try:
+            self._send_json(200, {"drained": drained, "pending": pending})
+        finally:
+            self.front._drained.set()
+
+    # -- wire helpers ---------------------------------------------------------
+
+    def _read_body(self, allow_empty: bool = False) -> bytes | None:
+        """Read the request body within the size budget, or send the error.
+
+        Returns ``None`` after answering 411 (no Content-Length) or 413
+        (over ``max_request_bytes``); the connection is closed in both
+        cases because the unread body would poison keep-alive framing.
+        """
+        header = self.headers.get("Content-Length")
+        if header is None:
+            if allow_empty:
+                return b""
+            self.close_connection = True
+            self._send_error_envelope(
+                411, "length_required",
+                "request must carry a Content-Length header",
+            )
+            return None
+        try:
+            length = int(header)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            self.close_connection = True
+            self._send_error_envelope(
+                400, "bad_request",
+                f"invalid Content-Length {header!r}",
+            )
+            return None
+        if length > self.front.max_request_bytes:
+            self.close_connection = True
+            self._send_error_envelope(
+                413, "payload_too_large",
+                f"request body of {length} bytes exceeds the limit of "
+                f"{self.front.max_request_bytes} bytes "
+                "(ServingConfig.max_request_bytes)",
+            )
+            return None
+        try:
+            return self.rfile.read(length)
+        except TimeoutError:
+            # The client stalled mid-body (socket timeout from setup()).
+            # The read side is dead but the write side usually is not;
+            # try to say why before dropping the connection.
+            self.close_connection = True
+            self._send_error_envelope(
+                408, "request_timeout",
+                f"request body not received within "
+                f"{self.front.request_timeout_s}s",
+            )
+            return None
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Refused-unread paths close the connection (see _read_body);
+            # advertise it so keep-alive clients don't retry into a
+            # half-closed socket.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json_envelope(self, envelope: dict) -> None:
+        self._send_json(envelope["error"]["status"], envelope)
+
+    def _send_error_envelope(self, status: int, code: str,
+                             message: str) -> None:
+        self._send_json(status, error_envelope(code, message, status))

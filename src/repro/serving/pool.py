@@ -50,11 +50,8 @@ import time
 from multiprocessing.connection import wait as connection_wait
 from dataclasses import dataclass, field, replace
 
-import numpy as np
-
 from repro.core.config import ServingConfig
 from repro.core.pipeline import InspectorGadget
-from repro.imaging.ops import as_image
 from repro.labeler.weak_labels import WeakLabels
 from repro.serving.dispatcher import (
     Dispatcher,
@@ -63,6 +60,7 @@ from repro.serving.dispatcher import (
     debug,
     t_images,
 )
+from repro.serving.protocol import coerce_images
 from repro.serving.worker import worker_main
 
 __all__ = ["ServingPool", "WorkerStatus", "PoolHealth"]
@@ -159,38 +157,47 @@ class ServingPool:
     def predict(self, images, timeout: float | None = None) -> WeakLabels:
         """Weak labels for a single 2-D image or a list of images.
 
-        Blocks for the response (at most ``timeout`` seconds, default
-        ``config.request_timeout_s``).  Output is byte-identical to
-        single-process ``predict`` on the same images.
+        Args:
+            images: one 2-D numeric array, or a non-empty list of them
+                (mixed shapes are fine; each image is matched on its own).
+            timeout: seconds to block for the response; defaults to
+                ``config.request_timeout_s``.
+
+        Returns:
+            The request's :class:`~repro.labeler.weak_labels.WeakLabels`,
+            byte-identical to single-process ``predict`` on the same
+            images for any worker count or batching setting.
+
+        Raises:
+            ValueError: the images fail request validation (empty
+                request, non-numeric or non-2-D entries).
+            ServingError: the pool is draining, shut down, or failed.
+            TimeoutError: no response within ``timeout`` seconds.
         """
         if timeout is None:
             timeout = self.config.request_timeout_s
         return self.submit(images).result(timeout)
 
     def submit(self, images) -> PendingPrediction:
-        """Queue a request without blocking; returns its pending handle."""
+        """Queue a request without blocking.
+
+        Accepts the same inputs as :meth:`predict` and applies the same
+        validation (the shared :func:`repro.serving.protocol.coerce_images`
+        — every front end rejects a bad request at its own boundary, with
+        the same message, before it can reach a worker and poison a
+        coalesced micro-batch).
+
+        Returns:
+            A :class:`~repro.serving.dispatcher.PendingPrediction`;
+            call ``.result(timeout)`` for the response.
+
+        Raises:
+            ValueError: the images fail request validation.
+            ServingError: the pool is draining, shut down, or failed.
+        """
         if self._closed:
             raise ServingError("serving pool is shut down")
-        if isinstance(images, np.ndarray) and images.ndim == 2:
-            images = [images]
-        try:
-            # Validate and coerce with the engine's own as_image *here*, at
-            # the request boundary: a bad array must fail its own submit
-            # with a ValueError, never reach a worker where its task error
-            # would take down unrelated requests coalesced into the same
-            # micro-batch.  Reusing as_image keeps this check and the
-            # engine's conversion from ever diverging.
-            images = [as_image(image) for image in images]
-        except (TypeError, ValueError) as exc:
-            raise ValueError(
-                f"images must be numeric 2-D arrays ({exc})"
-            ) from exc
-        if not images:
-            raise ValueError(
-                "predict received no images; pass a 2-D array or a "
-                "non-empty list of 2-D arrays"
-            )
-        return self._dispatcher.submit(images)
+        return self._dispatcher.submit(coerce_images(images))
 
     # -- observability --------------------------------------------------------
 
@@ -225,17 +232,65 @@ class ServingPool:
             )
 
     def ping(self, timeout: float = 5.0) -> dict[int, float]:
-        """Round-trip latency per responsive worker (see Dispatcher.ping)."""
+        """Round-trip latency per responsive worker.
+
+        Returns ``worker_id -> seconds`` for the workers that answered
+        within ``timeout``; a missing entry means "dead or busier than
+        ``timeout``", not necessarily dead (a busy worker answers after
+        its current task).  Raises :class:`ServingError` when the pool is
+        terminally failed.
+        """
         return self._dispatcher.ping(timeout)
 
     def serving_fingerprint(self) -> str:
-        """Fingerprint of the profile being served (deployment audits)."""
+        """Fingerprint of the profile being served (deployment audits).
+
+        Two pools with equal fingerprints answer byte-identically, so this
+        is the cache/routing key for a fleet.
+        """
         return self._pipeline.serving_fingerprint()
+
+    def profile_summary(self) -> dict:
+        """The loaded profile and pool tuning as plain JSON-ready data.
+
+        What ``GET /profile`` serves: the ``serving_fingerprint()``, the
+        profile's provenance (pattern count, class count, the labeler
+        architecture search summary when the profile was tuned), and the
+        dispatch knobs that shape latency without ever shaping answers.
+        """
+        pipeline = self._pipeline
+        tuning = None
+        if pipeline.tuning is not None:
+            tuning = {
+                "best_hidden": list(pipeline.tuning.best_hidden),
+                "best_score": float(pipeline.tuning.best_score),
+                "architectures_searched": len(pipeline.tuning.scores),
+            }
+        return {
+            "fingerprint": self.serving_fingerprint(),
+            "profile_path": self.profile_path,
+            "n_patterns": self._n_patterns,
+            "n_classes": pipeline.labeler.n_classes,
+            "tuning": tuning,
+            "pool": {
+                "workers": self.config.workers,
+                "max_batch": self.config.max_batch,
+                "max_wait_ms": self.config.max_wait_ms,
+                "max_respawns": self.config.max_respawns,
+                "request_timeout_s": self.config.request_timeout_s,
+            },
+        }
 
     # -- lifecycle ------------------------------------------------------------
 
     def drain(self, timeout: float | None = None) -> bool:
-        """Refuse new requests and wait for in-flight ones to finish."""
+        """Refuse new requests and wait for in-flight ones to finish.
+
+        Returns ``True`` when every outstanding request settled within
+        ``timeout`` seconds (``None`` waits indefinitely).  New submits
+        raise :class:`ServingError` from the moment the drain begins;
+        observability (:meth:`health`, :meth:`ping`) keeps working.
+        """
         return self._dispatcher.drain(timeout)
 
     def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:

@@ -1,0 +1,253 @@
+"""Shared request/response protocol for the serving front ends.
+
+Every transport that exposes a pool — in-process :meth:`ServingPool.submit`,
+the stdin-JSONL daemon, and the HTTP front end — funnels request validation
+through this module, so a given bad input produces the *same* error message
+no matter how it arrived (pinned by a message-equality test in
+``tests/test_serving_http.py``).  The pieces:
+
+* :func:`coerce_images` — the single request validator.  ``ServingPool.
+  submit`` calls it directly; the transports call it after decoding their
+  wire format, so wire-level and in-process validation can never diverge.
+* :func:`decode_image` / :func:`encode_image` — the wire image codec:
+  either a nested list of numbers or a base64 envelope
+  ``{"data": <b64 of raw bytes>, "shape": [H, W], "dtype": "float64"}``
+  (exact, compact, and ~3x smaller than the list form).
+* :func:`parse_label_request` — the ``POST /v1/label`` body schema:
+  ``{"image": <image>}`` or ``{"images": [<image>, ...]}``.
+* :class:`RequestError` + :func:`error_envelope` — the one error shape
+  every front end emits: ``{"error": {"code", "message", "status"}}``.
+* :func:`response_payload` — the one success shape: labels, confidence
+  and probabilities as JSON floats.  Python's ``json`` serializes floats
+  with shortest-round-trip ``repr``, so a client that parses them back
+  into float64 recovers the pool's output **byte-identically**.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+
+import numpy as np
+
+from repro.imaging.ops import as_image
+from repro.labeler.weak_labels import WeakLabels
+
+__all__ = [
+    "RequestError",
+    "coerce_images",
+    "decode_image",
+    "encode_image",
+    "envelope_for",
+    "error_envelope",
+    "parse_label_request",
+    "response_payload",
+]
+
+# dtypes accepted in base64 image envelopes: any real numeric scalar kind.
+# Rejecting everything else up front keeps object/str/void payloads from
+# ever reaching np.frombuffer.
+_NUMERIC_KINDS = frozenset("fiub")
+
+
+class RequestError(ValueError):
+    """A request that cannot be served, with its wire-level identity.
+
+    ``code`` is a stable machine-readable slug (clients switch on it),
+    ``status`` the HTTP status the HTTP front end responds with; other
+    transports carry both in their error envelope so a given failure looks
+    the same everywhere.
+    """
+
+    def __init__(self, code: str, message: str, status: int = 400):
+        super().__init__(message)
+        self.code = code
+        self.status = status
+
+
+def coerce_images(images) -> list[np.ndarray]:
+    """Validate a request's images; the single boundary check for all fronts.
+
+    Accepts one bare 2-D array or an iterable of arrays/array-likes and
+    returns the float64 2-D list the match engine consumes.  Raises
+    ``ValueError`` (message stable across transports) for non-numeric or
+    non-2-D entries and for an empty request.  Validating *here*, at the
+    request boundary, matters for batching: a bad array must fail its own
+    request, never reach a worker where its task error would take down
+    unrelated requests coalesced into the same micro-batch.  Reusing the
+    engine's own ``as_image`` keeps this check and the engine's conversion
+    from ever diverging.
+    """
+    if isinstance(images, np.ndarray) and images.ndim == 2:
+        images = [images]
+    try:
+        images = [as_image(image) for image in images]
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"images must be numeric 2-D arrays ({exc})"
+        ) from exc
+    if not images:
+        raise ValueError(
+            "predict received no images; pass a 2-D array or a "
+            "non-empty list of 2-D arrays"
+        )
+    return images
+
+
+def encode_image(array: np.ndarray) -> dict:
+    """The compact wire form of one image: base64 raw bytes + shape + dtype.
+
+    The inverse of :func:`decode_image`; round-trips any numeric 2-D array
+    bit-exactly (C-order raw bytes, no quantization).
+    """
+    array = np.ascontiguousarray(array)
+    return {
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+        "shape": list(array.shape),
+        "dtype": array.dtype.name,
+    }
+
+
+def decode_image(entry) -> np.ndarray:
+    """Decode one wire image (nested list or base64 envelope) to an array.
+
+    Raises :class:`RequestError` (code ``bad_request``) on structural
+    problems — wrong dtype name, data/shape length mismatch, non-list
+    payloads.  Numeric validation (2-D, non-empty, real-valued) is *not*
+    done here; it belongs to :func:`coerce_images` so the message matches
+    the in-process path exactly.
+    """
+    if isinstance(entry, dict):
+        missing = {"data", "shape", "dtype"} - set(entry)
+        if missing:
+            raise RequestError(
+                "bad_request",
+                "base64 image envelope must have data/shape/dtype keys "
+                f"(missing {sorted(missing)})",
+            )
+        try:
+            dtype = np.dtype(entry["dtype"])
+        except TypeError as exc:
+            raise RequestError(
+                "bad_request", f"unknown image dtype {entry['dtype']!r}"
+            ) from exc
+        if dtype.kind not in _NUMERIC_KINDS:
+            raise RequestError(
+                "bad_request",
+                f"image dtype must be numeric, got {entry['dtype']!r}",
+            )
+        try:
+            raw = base64.b64decode(entry["data"], validate=True)
+        except (binascii.Error, TypeError, ValueError) as exc:
+            raise RequestError(
+                "bad_request", f"image data is not valid base64 ({exc})"
+            ) from exc
+        shape = entry["shape"]
+        if (not isinstance(shape, (list, tuple))
+                or not all(isinstance(side, int) and side >= 0
+                           for side in shape)):
+            raise RequestError(
+                "bad_request",
+                f"image shape must be a list of non-negative ints, "
+                f"got {shape!r}",
+            )
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if len(raw) != expected:
+            raise RequestError(
+                "bad_request",
+                f"image data has {len(raw)} bytes but shape {list(shape)} "
+                f"with dtype {dtype.name} needs {expected}",
+            )
+        return np.frombuffer(raw, dtype=dtype).reshape(shape)
+    if isinstance(entry, list):
+        try:
+            return np.asarray(entry)
+        except (TypeError, ValueError) as exc:
+            raise RequestError(
+                "bad_request", f"image is not a rectangular array ({exc})"
+            ) from exc
+    raise RequestError(
+        "bad_request",
+        "each image must be a nested list of numbers or a base64 envelope "
+        f"{{data, shape, dtype}}, got {type(entry).__name__}",
+    )
+
+
+def parse_label_request(payload) -> list:
+    """Extract the raw image entries from a ``/v1/label`` body.
+
+    The body must be a JSON object with exactly one of ``image`` (single)
+    or ``images`` (batch, a list).  Returns the undecoded entries; raises
+    :class:`RequestError` (code ``bad_request``) on any other shape.
+    """
+    if not isinstance(payload, dict):
+        raise RequestError(
+            "bad_request",
+            f"request body must be a JSON object, got "
+            f"{type(payload).__name__}",
+        )
+    has_single = "image" in payload
+    has_batch = "images" in payload
+    if has_single == has_batch:
+        raise RequestError(
+            "bad_request",
+            'request body must have exactly one of "image" (single) or '
+            '"images" (batch)',
+        )
+    if has_single:
+        return [payload["image"]]
+    entries = payload["images"]
+    if not isinstance(entries, list):
+        raise RequestError(
+            "bad_request",
+            f'"images" must be a list, got {type(entries).__name__}',
+        )
+    return entries
+
+
+def error_envelope(code: str, message: str, status: int) -> dict:
+    """The one error shape every serving front end emits."""
+    return {"error": {"code": code, "message": message, "status": status}}
+
+
+def envelope_for(exc: BaseException, *, default_status: int = 500) -> dict:
+    """Map an exception to its error envelope (transport-independent).
+
+    ``RequestError`` carries its own code/status; ``TimeoutError`` becomes
+    ``timeout``/504 (the pool accepted the request but the response did
+    not arrive in time), plain ``ValueError`` — what
+    :func:`coerce_images` raises — becomes ``bad_request``/400,
+    ``ServingError`` becomes ``unavailable``/503 (the pool is draining,
+    shut down, or terminally failed), ``OSError`` becomes ``io_error``/400
+    (an unreadable client-named path in the stdin front end).  Anything
+    else is ``internal`` with ``default_status``.
+    """
+    from repro.serving.dispatcher import ServingError
+
+    if isinstance(exc, RequestError):
+        return error_envelope(exc.code, str(exc), exc.status)
+    if isinstance(exc, TimeoutError):
+        return error_envelope("timeout", str(exc), 504)
+    if isinstance(exc, ValueError):
+        return error_envelope("bad_request", str(exc), 400)
+    if isinstance(exc, ServingError):
+        return error_envelope("unavailable", str(exc), 503)
+    if isinstance(exc, OSError):
+        return error_envelope("io_error", str(exc), 400)
+    return error_envelope("internal", str(exc), default_status)
+
+
+def response_payload(weak: WeakLabels) -> dict:
+    """The one success shape: a ``WeakLabels`` as JSON-ready plain data.
+
+    Floats go through Python's shortest-round-trip ``repr`` when the
+    caller JSON-serializes this, so parsing them back as float64 recovers
+    ``weak.probs`` byte-identically.
+    """
+    return {
+        "n_images": len(weak),
+        "n_classes": weak.n_classes,
+        "labels": [int(label) for label in weak.labels],
+        "confidence": [float(c) for c in weak.confidence],
+        "probs": [[float(p) for p in row] for row in weak.probs],
+    }

@@ -1,0 +1,69 @@
+"""Docs link check: no dead relative links in README.md or docs/*.md.
+
+This is the test CI's docs-link-check step runs: every markdown link in
+the prose docs that points at a repo file must resolve from the linking
+file's directory, and every same-file ``#fragment`` link must match a
+real heading (GitHub slug rules).  External ``http(s)``/``mailto``
+targets are out of scope — checking them would make CI flake on the
+internet.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+# [text](target) — target captured up to the closing paren; markdown
+# images ![alt](target) match too, which is what we want.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _links(markdown: str) -> list[str]:
+    # Fenced code blocks hold example URLs and shell one-liners, not
+    # navigable links; strip them before scanning.
+    prose = re.sub(r"```.*?```", "", markdown, flags=re.DOTALL)
+    return _LINK.findall(prose)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_no_dead_relative_links(doc: Path):
+    assert doc.is_file(), f"expected doc file {doc} is missing"
+    markdown = doc.read_text()
+    anchors = {_slug(h) for h in _HEADING.findall(markdown)}
+    dead: list[str] = []
+    for target in _links(markdown):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path, _, fragment = target.partition("#")
+        if not path:
+            if fragment and fragment not in anchors:
+                dead.append(f"#{fragment} (no such heading)")
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.exists():
+            dead.append(target)
+    assert not dead, f"{doc.relative_to(REPO_ROOT)} has dead links: {dead}"
+
+
+def test_docs_exist_and_are_linked_from_readme():
+    """The acceptance wiring: both docs exist and README points at them."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    for name in ("docs/architecture.md", "docs/serving.md"):
+        assert (REPO_ROOT / name).is_file(), f"{name} is missing"
+        assert name in readme, f"README.md does not link {name}"

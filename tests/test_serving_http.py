@@ -1,0 +1,534 @@
+"""Tests for the HTTP serving front end (and transport-shared protocol).
+
+Three contracts layered over the pool's own guarantees:
+
+1. **Byte-identity over the wire** — for worker counts {1, 2, 4}, concurrent
+   HTTP clients each get response probabilities that parse back into float64
+   byte-identical to single-process ``predict`` (JSON floats round-trip via
+   shortest ``repr``), whether images travel as base64 envelopes or nested
+   lists, and the dispatcher coalesces the concurrent requests exactly like
+   in-process callers.
+2. **Error envelopes** — every failure is ``{"error": {code, message,
+   status}}`` with distinct status codes per failure class (400 malformed,
+   404/405 routing, 411 missing length, 413 oversized, 503 unavailable),
+   and a given bad input produces the *same* message through HTTP and the
+   stdin-JSONL daemon (one validator: ``repro.serving.protocol``).
+3. **Drain semantics** — ``POST /admin/drain`` completes every in-flight
+   request (byte-identically) before reporting drained, refuses new label
+   requests with 503, and keeps observability endpoints alive.
+
+Pools spawn real processes; like ``tests/test_serving.py`` this file is
+fast-lane but runs in CI's dedicated serving-smoke job, not the matrix.
+"""
+
+from __future__ import annotations
+
+import http.client
+import io
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.augment.augmenter import AugmentConfig
+from repro.core.config import InspectorGadgetConfig, ServingConfig
+from repro.core.pipeline import InspectorGadget
+from repro.crowd.workflow import WorkflowConfig
+from repro.serving import ServingPool, serve_http
+from repro.serving.cli import main as cli_main
+from repro.serving.protocol import encode_image
+
+
+@pytest.fixture(scope="module")
+def profile_path(tiny_ksdd, tmp_path_factory):
+    """A fitted tiny profile on disk, shared by every pool in this file."""
+    config = InspectorGadgetConfig(
+        workflow=WorkflowConfig(target_defective=4),
+        augment=AugmentConfig(mode="none"),
+        tune=False,
+        labeler_max_iter=40,
+        seed=0,
+    )
+    ig = InspectorGadget(config)
+    ig.fit(tiny_ksdd)
+    return ig.save(tmp_path_factory.mktemp("serving-http") / "tiny.igz")
+
+
+@pytest.fixture(scope="module")
+def images(tiny_ksdd):
+    return [item.image for item in tiny_ksdd.images]
+
+
+@pytest.fixture(scope="module")
+def baseline(profile_path):
+    """The single-process reference every HTTP response must match."""
+    return InspectorGadget.load(profile_path)
+
+
+@pytest.fixture(scope="module")
+def served(profile_path):
+    """One 2-worker pool + HTTP front reused by non-destructive tests."""
+    with ServingPool(profile_path, workers=2, max_batch=4,
+                     max_wait_ms=2.0) as pool:
+        with serve_http(pool, host="127.0.0.1", port=0) as front:
+            yield pool, front
+
+
+def request_json(url: str, method: str = "GET", payload=None,
+                 body: bytes | None = None, timeout: float = 120.0):
+    """(status, parsed JSON) for one request; error statuses don't raise."""
+    data = body
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        with err:
+            return err.code, json.loads(err.read())
+
+
+def probs_of(response: dict) -> bytes:
+    return np.array(response["probs"], dtype=np.float64).tobytes()
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_concurrent_clients_match_single_process(
+        self, profile_path, images, baseline, workers
+    ):
+        """Acceptance: concurrent HTTP clients mixing single/batch requests
+        and both wire encodings each parse back their exact single-process
+        answer, for N ∈ {1, 2, 4} with max_batch forcing splits."""
+        requests = [
+            {"image": encode_image(images[0])},
+            {"images": [encode_image(img) for img in images[:5]]},
+            {"image": images[7].tolist()},
+            {"images": [img.tolist() for img in images[3:9]]},
+            {"images": [encode_image(images[2]), images[11].tolist()]},
+            {"image": encode_image(images[9])},
+        ]
+        expected = [
+            baseline.predict([images[0]]).probs.tobytes(),
+            baseline.predict(images[:5]).probs.tobytes(),
+            baseline.predict([images[7]]).probs.tobytes(),
+            baseline.predict(images[3:9]).probs.tobytes(),
+            baseline.predict([images[2], images[11]]).probs.tobytes(),
+            baseline.predict([images[9]]).probs.tobytes(),
+        ]
+        with ServingPool(profile_path, workers=workers, max_batch=3,
+                         max_wait_ms=2.0) as pool:
+            with serve_http(pool, host="127.0.0.1", port=0) as front:
+                url = front.url + "/v1/label"
+                results: list[bytes | None] = [None] * len(requests)
+                errors: list[BaseException] = []
+
+                def client(i: int) -> None:
+                    try:
+                        status, resp = request_json(url, "POST",
+                                                    payload=requests[i])
+                        assert status == 200, resp
+                        results[i] = probs_of(resp)
+                    except BaseException as exc:  # surfaced below
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=client, args=(i,))
+                           for i in range(len(requests))]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=120)
+        assert not errors
+        assert results == expected
+
+    def test_response_shape(self, served, images, baseline):
+        pool, front = served
+        status, resp = request_json(
+            front.url + "/v1/label", "POST",
+            payload={"images": [encode_image(img) for img in images[:3]]},
+        )
+        assert status == 200
+        expected = baseline.predict(images[:3])
+        assert resp["n_images"] == 3
+        assert resp["n_classes"] == expected.n_classes
+        assert resp["labels"] == [int(l) for l in expected.labels]
+        assert probs_of(resp) == expected.probs.tobytes()
+        conf = np.array(resp["confidence"], dtype=np.float64)
+        assert conf.tobytes() == expected.confidence.tobytes()
+
+
+class TestObservability:
+    def test_healthz(self, served):
+        pool, front = served
+        status, resp = request_json(front.url + "/healthz")
+        assert status == 200
+        assert resp["ok"] is True
+        assert resp["draining"] is False
+        assert resp["failure"] is None
+        assert len(resp["workers"]) == 2
+        assert all(w["alive"] and w["ready"] for w in resp["workers"])
+        assert len({w["pid"] for w in resp["workers"]}) == 2
+
+    def test_healthz_ping(self, served):
+        pool, front = served
+        status, resp = request_json(front.url + "/healthz?ping=1")
+        assert status == 200
+        assert set(resp["ping_ms"]) == {"0", "1"}
+        assert all(rtt >= 0 for rtt in resp["ping_ms"].values())
+
+    def test_healthz_reports_dead_worker_as_503(self, profile_path):
+        with ServingPool(profile_path, workers=1, max_respawns=0) as pool:
+            with serve_http(pool, host="127.0.0.1", port=0) as front:
+                assert request_json(front.url + "/healthz")[0] == 200
+                pool._workers[0].process.kill()
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    status, resp = request_json(front.url + "/healthz")
+                    if status == 503:
+                        break
+                    time.sleep(0.05)
+                assert status == 503
+                assert resp["ok"] is False
+
+    def test_profile(self, served, baseline):
+        pool, front = served
+        status, resp = request_json(front.url + "/profile")
+        assert status == 200
+        assert resp["fingerprint"] == baseline.serving_fingerprint()
+        assert resp["profile_path"] == pool.profile_path
+        assert resp["n_patterns"] == len(
+            baseline.feature_generator.patterns
+        )
+        assert resp["n_classes"] == 2
+        assert resp["tuning"] is None  # profile was fitted with tune=False
+        assert resp["pool"]["workers"] == 2
+        assert resp["pool"]["max_batch"] == 4
+
+
+class TestErrorEnvelopes:
+    """Every failure mode answers its own distinct status + stable code."""
+
+    def _post(self, front, **kwargs):
+        return request_json(front.url + "/v1/label", "POST", **kwargs)
+
+    def test_invalid_json_is_400(self, served):
+        _, front = served
+        status, resp = self._post(front, body=b"{nope")
+        assert status == 400
+        assert resp["error"]["code"] == "bad_request"
+        assert resp["error"]["status"] == 400
+        assert "JSON" in resp["error"]["message"]
+
+    def test_missing_image_keys_is_400(self, served):
+        _, front = served
+        status, resp = self._post(front, payload={"imgs": []})
+        assert status == 400
+        assert 'exactly one of "image"' in resp["error"]["message"]
+
+    def test_both_image_keys_is_400(self, served, images):
+        _, front = served
+        status, resp = self._post(front, payload={
+            "image": images[0].tolist(), "images": [],
+        })
+        assert status == 400
+
+    def test_non_list_images_is_400(self, served):
+        _, front = served
+        status, resp = self._post(front, payload={"images": "a.npy"})
+        assert status == 400
+        assert '"images" must be a list' in resp["error"]["message"]
+
+    def test_empty_batch_is_400(self, served):
+        _, front = served
+        status, resp = self._post(front, payload={"images": []})
+        assert status == 400
+        assert "no images" in resp["error"]["message"]
+
+    def test_non_2d_image_is_400(self, served):
+        _, front = served
+        status, resp = self._post(front, payload={"image": [1.0, 2.0]})
+        assert status == 400
+        assert "2-D" in resp["error"]["message"]
+
+    def test_bad_dtype_is_400(self, served):
+        _, front = served
+        entry = {"data": "AAAA", "shape": [1, 3], "dtype": "object"}
+        status, resp = self._post(front, payload={"image": entry})
+        assert status == 400
+        assert "dtype must be numeric" in resp["error"]["message"]
+
+    def test_data_shape_mismatch_is_400(self, served, images):
+        _, front = served
+        entry = encode_image(images[0])
+        entry["shape"] = [3, 3]
+        status, resp = self._post(front, payload={"image": entry})
+        assert status == 400
+        assert "needs" in resp["error"]["message"]
+
+    def test_oversized_request_is_413(self, served, images):
+        pool, _ = served
+        with serve_http(pool, host="127.0.0.1", port=0,
+                        max_request_bytes=2048) as small_front:
+            # One image (~50 KB as base64) is over the 2 KiB budget but
+            # well inside loopback socket buffers, so the client's body
+            # write cannot stall against the unread-and-refused request.
+            payload = {"images": [encode_image(images[0])]}
+            status, resp = request_json(small_front.url + "/v1/label",
+                                        "POST", payload=payload)
+            assert status == 413
+            assert resp["error"]["code"] == "payload_too_large"
+            assert "max_request_bytes" in resp["error"]["message"]
+            # Within budget still works on the same front.
+            ok_status, _ = request_json(
+                small_front.url + "/healthz")
+            assert ok_status == 200
+
+    def test_missing_content_length_is_411(self, served):
+        _, front = served
+        host, port = front.address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.putrequest("POST", "/v1/label")
+            conn.endheaders()
+            resp = conn.getresponse()
+            payload = json.loads(resp.read())
+            assert resp.status == 411
+            assert payload["error"]["code"] == "length_required"
+        finally:
+            conn.close()
+
+    def test_unread_body_closes_keepalive_connection(self, served, images):
+        """A response sent without reading the POST body must close (and
+        advertise closing) the connection — otherwise the unread bytes
+        would be parsed as the next request on a keep-alive socket."""
+        _, front = served
+        host, port = front.address
+        body = json.dumps({"image": images[0].tolist()}).encode()
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("POST", "/healthz", body=body,
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            payload = json.loads(resp.read())
+            assert resp.status == 405
+            assert payload["error"]["code"] == "method_not_allowed"
+            assert resp.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+    def test_unknown_path_is_404(self, served):
+        _, front = served
+        status, resp = request_json(front.url + "/v2/label", "POST",
+                                    payload={})
+        assert status == 404
+        assert resp["error"]["code"] == "not_found"
+        assert request_json(front.url + "/nope")[0] == 404
+
+    def test_wrong_method_is_405(self, served):
+        _, front = served
+        status, resp = request_json(front.url + "/v1/label")
+        assert status == 405
+        assert resp["error"]["code"] == "method_not_allowed"
+        assert request_json(front.url + "/healthz", "POST",
+                            payload={})[0] == 405
+
+    def test_status_codes_are_distinct_per_failure_class(self, served,
+                                                         images):
+        """The supervisor contract: malformed vs oversized vs routing vs
+        refused map to different status codes, not a generic 400/500."""
+        pool, front = served
+        statuses = {
+            "malformed": self._post(front, body=b"!")[0],
+            "not_found": request_json(front.url + "/nope")[0],
+            "method": request_json(front.url + "/v1/label")[0],
+        }
+        with serve_http(pool, host="127.0.0.1", port=0,
+                        max_request_bytes=2048) as small:
+            statuses["oversized"] = request_json(
+                small.url + "/v1/label", "POST",
+                payload={"images": [encode_image(images[0])]},
+            )[0]
+        assert statuses == {
+            "malformed": 400, "not_found": 404,
+            "method": 405, "oversized": 413,
+        }
+
+
+class TestDrain:
+    def test_drain_while_in_flight_completes_outstanding(
+        self, profile_path, images, baseline
+    ):
+        """Acceptance: a drain issued while a request is in flight lets it
+        finish (byte-identically), then refuses new label requests with
+        503 while /healthz and /profile stay up."""
+        expected = baseline.predict(images).probs.tobytes()
+        with ServingPool(profile_path, workers=1, max_batch=4,
+                         max_wait_ms=0.0) as pool:
+            with serve_http(pool, host="127.0.0.1", port=0) as front:
+                url = front.url
+                in_flight: dict = {}
+
+                def client() -> None:
+                    in_flight["result"] = request_json(
+                        url + "/v1/label", "POST",
+                        payload={"images": [img.tolist()
+                                            for img in images]},
+                    )
+
+                thread = threading.Thread(target=client)
+                thread.start()
+                # Let the request reach the dispatcher before draining.
+                deadline = time.monotonic() + 30
+                while (pool.health().pending_requests == 0
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
+                assert pool.health().pending_requests > 0
+
+                status, resp = request_json(url + "/admin/drain", "POST",
+                                            payload={"timeout": 120})
+                assert status == 200
+                assert resp["drained"] is True
+                assert resp["pending"] == 0
+
+                thread.join(timeout=120)
+                in_status, in_resp = in_flight["result"]
+                assert in_status == 200
+                assert probs_of(in_resp) == expected
+
+                # New label requests are refused, observability survives.
+                status, resp = request_json(
+                    url + "/v1/label", "POST",
+                    payload={"image": images[0].tolist()},
+                )
+                assert status == 503
+                assert resp["error"]["code"] == "unavailable"
+                assert "draining" in resp["error"]["message"]
+                health_status, health = request_json(url + "/healthz")
+                assert health_status == 200
+                assert health["draining"] is True
+                assert request_json(url + "/profile")[0] == 200
+                assert front.wait_drained(timeout=1)
+
+
+class TestTransportParity:
+    """One validator: stdin-JSONL and HTTP report identical errors."""
+
+    def _http_error(self, served, array: np.ndarray) -> dict:
+        _, front = served
+        status, resp = request_json(front.url + "/v1/label", "POST",
+                                    payload={"image": array.tolist()})
+        assert status == resp["error"]["status"]
+        return resp["error"]
+
+    def _stdin_error(self, profile_path, array: np.ndarray, tmp_path,
+                     monkeypatch) -> dict:
+        path = tmp_path / "bad.npy"
+        np.save(path, array)
+        monkeypatch.setattr("sys.stdin", io.StringIO(str(path) + "\n"))
+        stdout = io.StringIO()
+        code = cli_main([
+            "--profile", str(profile_path), "--workers", "1",
+            "--max-wait-ms", "0", "--quiet", "--stdin",
+        ], stdout=stdout)
+        assert code == 0  # per-request failure, pool still healthy
+        response = json.loads(stdout.getvalue().strip())
+        return response["error"]
+
+    @pytest.mark.parametrize("bad_array", [
+        np.zeros((2, 3, 4)),          # 3-D
+        np.arange(5.0),               # 1-D
+    ], ids=["3d", "1d"])
+    def test_same_message_on_both_transports(
+        self, served, profile_path, bad_array, tmp_path, monkeypatch
+    ):
+        via_http = self._http_error(served, bad_array)
+        via_stdin = self._stdin_error(profile_path, bad_array, tmp_path,
+                                      monkeypatch)
+        assert via_http["message"] == via_stdin["message"]
+        assert via_http["code"] == via_stdin["code"] == "bad_request"
+        assert via_http["status"] == via_stdin["status"] == 400
+
+
+class TestCLIHttpMode:
+    def test_http_mode_serves_and_drains(self, profile_path, images,
+                                         baseline):
+        """--http 127.0.0.1:0 announces its bound URL on stdout, labels a
+        request, and exits 0 on POST /admin/drain."""
+        stdout = io.StringIO()
+        result: dict = {}
+
+        def run() -> None:
+            result["code"] = cli_main([
+                "--profile", str(profile_path), "--workers", "1",
+                "--max-wait-ms", "0", "--quiet",
+                "--http", "127.0.0.1:0",
+            ], stdout=stdout)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        deadline = time.monotonic() + 120
+        url = None
+        while time.monotonic() < deadline:
+            line = stdout.getvalue()
+            if line.startswith("serving HTTP on "):
+                url = line.split("serving HTTP on ", 1)[1].strip()
+                break
+            time.sleep(0.05)
+        assert url, "CLI never announced its bound address"
+
+        status, resp = request_json(url + "/v1/label", "POST",
+                                    payload={"image": images[0].tolist()})
+        assert status == 200
+        assert probs_of(resp) == baseline.predict(
+            [images[0]]).probs.tobytes()
+
+        status, _ = request_json(url + "/admin/drain", "POST", payload={})
+        assert status == 200
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+
+    def test_bad_http_address_exits_2(self, profile_path, capsys):
+        assert cli_main(["--profile", str(profile_path),
+                         "--http", "no-port"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_out_of_range_port_exits_2(self, profile_path, capsys):
+        """--http routes through ServingConfig validation: a bad port is
+        a usage error before any pool spins up, not a bind traceback."""
+        assert cli_main(["--profile", str(profile_path),
+                         "--http", "127.0.0.1:99999"]) == 2
+        assert "http_port" in capsys.readouterr().err
+
+    def test_bad_max_request_bytes_exits_2(self, profile_path, capsys):
+        assert cli_main(["--profile", str(profile_path),
+                         "--http", "127.0.0.1:0",
+                         "--max-request-bytes", "10"]) == 2
+        assert "invalid serving option" in capsys.readouterr().err
+
+
+class TestHttpConfigValidation:
+    @pytest.mark.parametrize("bad", [
+        {"http_host": ""},
+        {"http_port": -1},
+        {"http_port": 65536},
+        {"max_request_bytes": 0},
+        {"max_request_bytes": 1023},
+    ])
+    def test_invalid_values_raise(self, bad):
+        with pytest.raises(ValueError):
+            ServingConfig(**bad)
+
+    def test_defaults_valid(self):
+        config = ServingConfig()
+        assert config.http_host == "127.0.0.1"
+        assert 0 <= config.http_port <= 65535
+        assert config.max_request_bytes >= 1024
