@@ -86,10 +86,7 @@ def test_http_throughput(http_workload):
                      warmup_shapes=(image_shape,)) as pool:
         # In-process dispatcher anchor (and the byte-identity reference).
         pool.predict(stream[:8])  # warm the dispatch path
-        t0 = time.perf_counter()
         expected = pool.predict(stream)
-        inproc_s = time.perf_counter() - t0
-        inproc_s = min(inproc_s, _timed(lambda: pool.predict(stream)))
         expected_bytes = expected.probs.tobytes()
 
         with serve_http(pool, host="127.0.0.1", port=0) as front:
@@ -99,10 +96,18 @@ def test_http_throughput(http_workload):
             assert probs.tobytes() == expected_bytes, (
                 "HTTP batch response diverged from in-process dispatch"
             )
-            http_batch_s = min(
-                _timed(lambda: _post_label(front.url, {"images": encoded}))
-                for _ in range(2)
-            )
+            # The gate is the *ratio* of these two, so time them in
+            # alternating passes: a background-load blip then lands on
+            # both sides instead of skewing one (this box is small and
+            # shared — separate timing windows made the gate flaky).
+            inproc_samples, batch_samples = [], []
+            for _ in range(3):
+                inproc_samples.append(
+                    _timed(lambda: pool.predict(stream)))
+                batch_samples.append(_timed(
+                    lambda: _post_label(front.url, {"images": encoded})))
+            inproc_s = min(inproc_samples)
+            http_batch_s = min(batch_samples)
 
             # Concurrent single-image clients: N_CLIENTS threads each walk
             # their slice of the stream, one HTTP request per image, and

@@ -11,6 +11,7 @@ from repro.imaging.pyramid import PyramidMatcher
 __all__ = ["InspectorGadgetConfig", "ServingConfig"]
 
 _START_METHODS = ("spawn", "fork", "forkserver")
+_HTTP_BACKENDS = ("threaded", "asyncio")
 
 
 @dataclass
@@ -44,12 +45,27 @@ class ServingConfig:
     those shapes pays no planning cost.
 
     ``http_host``/``http_port`` are the default bind address of the HTTP
-    front end (:func:`repro.serving.http.serve_http`); port ``0`` binds an
+    front ends (:func:`repro.serving.http.serve_http` and
+    :func:`repro.serving.aio.serve_http_async`); port ``0`` binds an
     ephemeral port, readable back from the front end.  The default host is
     loopback — exposing a pool beyond the machine is an explicit decision
-    (``0.0.0.0``), not a default.  ``max_request_bytes`` bounds an HTTP
-    request body; larger requests are refused with 413 before being read,
-    so one misbehaving client cannot balloon parent memory.
+    (``0.0.0.0``/``::``), not a default.  IPv6 hosts work on both backends
+    (``"::1"``; the CLI flag form is ``[::1]:8765``).
+    ``http_backend`` picks the transport implementation: ``"threaded"``
+    (stdlib ``ThreadingHTTPServer``, one thread per connection) or
+    ``"asyncio"`` (:mod:`repro.serving.aio`, one event loop, bounded
+    threads — the high-concurrency choice).  Both serve the identical
+    endpoint surface with byte-identical responses.
+
+    ``max_request_bytes`` bounds an HTTP request body; larger requests are
+    refused with 413 before being read, so one misbehaving client cannot
+    balloon parent memory (gzip request bodies are bounded by the same
+    limit *before* full decompression).  ``gzip_responses`` /
+    ``gzip_min_bytes`` / ``gzip_level`` control response compression:
+    bodies of at least ``gzip_min_bytes`` are gzipped at ``gzip_level``
+    for clients that send ``Accept-Encoding: gzip`` (base64 float64
+    images are ~3× raw, so this is a real wire win; compressed bytes are
+    deterministic, preserving transport byte-identity).
     """
 
     workers: int = 2
@@ -62,7 +78,11 @@ class ServingConfig:
     warmup_shapes: tuple[tuple[int, int], ...] = ()
     http_host: str = "127.0.0.1"
     http_port: int = 8765
+    http_backend: str = "threaded"
     max_request_bytes: int = 64 * 1024 * 1024
+    gzip_responses: bool = True
+    gzip_min_bytes: int = 512
+    gzip_level: int = 6
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -109,10 +129,23 @@ class ServingConfig:
                 f"http_port must be in [0, 65535] (0 = ephemeral), "
                 f"got {self.http_port}"
             )
+        if self.http_backend not in _HTTP_BACKENDS:
+            raise ValueError(
+                f"http_backend must be one of {_HTTP_BACKENDS}, "
+                f"got {self.http_backend!r}"
+            )
         if self.max_request_bytes < 1024:
             raise ValueError(
                 "max_request_bytes must be >= 1024 (one image envelope "
                 f"never fits below that), got {self.max_request_bytes}"
+            )
+        if self.gzip_min_bytes < 0:
+            raise ValueError(
+                f"gzip_min_bytes must be >= 0, got {self.gzip_min_bytes}"
+            )
+        if not 1 <= self.gzip_level <= 9:
+            raise ValueError(
+                f"gzip_level must be in [1, 9], got {self.gzip_level}"
             )
 
 

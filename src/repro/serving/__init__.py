@@ -28,13 +28,16 @@ Lifecycle is product surface: warmup before ready, :meth:`ServingPool.health`
 :meth:`ServingPool.shutdown` for graceful exits, and crashed workers are
 respawned (in-flight work resubmitted) within a bounded budget.
 
-Transports stack on top of the same ``submit``: :func:`serve_http`
-(:mod:`repro.serving.http`) exposes the pool over TCP for non-Python
-clients — ``POST /v1/label``, ``GET /healthz``, ``GET /profile``,
-``POST /admin/drain`` — and the stdin-JSONL daemon serves pipelines.
-All of them validate requests and shape errors through one module
-(:mod:`repro.serving.protocol`), so a bad request gets the same answer no
-matter how it arrived.
+Transports stack on top of the same ``submit``: two HTTP front ends —
+threaded :func:`serve_http` (:mod:`repro.serving.http`) and asyncio
+:func:`serve_http_async` (:mod:`repro.serving.aio`, the high-concurrency
+choice) — expose the pool over TCP for non-Python clients with the
+identical endpoint surface (``POST /v1/label``, ``GET /healthz``,
+``GET /profile``, ``POST /admin/drain``), and the stdin-JSONL daemon
+serves pipelines.  All of them validate requests and shape errors through
+one module (:mod:`repro.serving.protocol`), so a bad request gets the
+same answer — and a good one byte-identical labels — no matter how it
+arrived.  Both HTTP fronts speak gzip for request and response bodies.
 
 ``python -m repro.serving --profile p.igz --workers 4`` serves from the
 command line (``--images``/``--stdin``/``--http HOST:PORT``); see
@@ -43,6 +46,7 @@ command line (``--images``/``--stdin``/``--http HOST:PORT``); see
 """
 
 from repro.core.config import ServingConfig
+from repro.serving.aio import AsyncHttpFrontEnd, serve_http_async
 from repro.serving.dispatcher import (
     Dispatcher,
     PendingPrediction,
@@ -60,7 +64,9 @@ __all__ = [
     "ServingError",
     "RequestError",
     "HttpFrontEnd",
+    "AsyncHttpFrontEnd",
     "serve_http",
+    "serve_http_async",
     "PoolHealth",
     "WorkerStatus",
 ]

@@ -13,10 +13,13 @@ mutually exclusive modes:
   Pipe-friendly: a supervisor writes paths, reads responses, and closes
   stdin to stop the daemon.
 * ``--http HOST:PORT`` — TCP daemon: serve the pool over HTTP
-  (:mod:`repro.serving.http`; API reference in ``docs/serving.md``).
-  Port ``0`` binds an ephemeral port; the actually bound URL is printed
-  as ``serving HTTP on http://host:port`` on stdout, so a supervisor can
-  parse it.  Runs until ``POST /admin/drain`` (exit 0) or SIGINT.
+  (:mod:`repro.serving.http` or, with ``--http-backend asyncio``,
+  :mod:`repro.serving.aio` — same endpoints, same bytes; API reference
+  in ``docs/serving.md``).  IPv6 hosts use the bracket form
+  (``[::1]:8765``).  Port ``0`` binds an ephemeral port; the actually
+  bound URL is printed as ``serving HTTP on http://host:port`` on
+  stdout, so a supervisor can parse it.  Runs until ``POST
+  /admin/drain`` (exit 0) or SIGINT.
 
 Exit codes (supervisor contract): ``0`` success/clean drain, ``1`` a
 request or transport failure with a live pool, ``2`` usage errors (bad
@@ -43,6 +46,7 @@ import numpy as np
 
 from repro.core.config import ServingConfig
 from repro.core.pipeline import ProfileError
+from repro.serving.aio import serve_http_async
 from repro.serving.dispatcher import ServingError
 from repro.serving.http import serve_http
 from repro.serving.pool import ServingPool
@@ -88,8 +92,17 @@ def build_parser() -> argparse.ArgumentParser:
     mode.add_argument("--http", metavar="HOST:PORT",
                       help="daemon mode: serve the pool over HTTP on this "
                            "address (port 0 = ephemeral; the bound URL is "
-                           "printed on stdout); runs until POST "
-                           "/admin/drain or SIGINT")
+                           "printed on stdout; IPv6 hosts use brackets, "
+                           "[::1]:8765); runs until POST /admin/drain or "
+                           "SIGINT")
+    parser.add_argument("--http-backend", default=None,
+                        choices=("threaded", "asyncio"),
+                        help="with --http: transport implementation — "
+                             "threaded (one thread per connection) or "
+                             "asyncio (one event loop; the "
+                             "high-concurrency choice). Responses are "
+                             "byte-identical either way (default: "
+                             "threaded)")
     parser.add_argument("--output", metavar="NPZ",
                         help="with --images: also write probs/labels to "
                              "this .npz file")
@@ -99,12 +112,38 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _parse_host_port(value: str) -> tuple[str, int]:
-    """Split a ``HOST:PORT`` flag value; raises ValueError on bad input."""
-    host, sep, port = value.rpartition(":")
-    if not sep or not host:
-        raise ValueError(
-            f"--http takes HOST:PORT (e.g. 127.0.0.1:8765), got {value!r}"
-        )
+    """Split a ``HOST:PORT`` flag value; raises ValueError on bad input.
+
+    IPv6 literals use the standard bracket form (``[::1]:8765``) and the
+    brackets are stripped from the returned host — what the socket layer
+    binds is the bare address.  Every malformed input (no colon, empty
+    host, non-numeric or out-of-range-looking port, unbracketed v6) gets
+    a usage-style message naming the expected HOST:PORT shape, never a
+    raw ``int()`` traceback.
+    """
+    usage = (f"--http takes HOST:PORT (e.g. 127.0.0.1:8765 or [::1]:8765), "
+             f"got {value!r}")
+    if value.startswith("["):
+        # Bracketed IPv6: [host]:port.
+        host, sep, port = value.partition("]")
+        host = host[1:]
+        if not host or not sep or not port.startswith(":"):
+            raise ValueError(usage)
+        port = port[1:]
+    else:
+        host, sep, port = value.rpartition(":")
+        if not sep or not host:
+            raise ValueError(usage)
+        if ":" in host:
+            # An unbracketed v6 literal is ambiguous (every colon is a
+            # candidate split); require the bracket form instead of
+            # guessing.
+            raise ValueError(
+                f"IPv6 HOST:PORT must bracket the host, like "
+                f"[{host}]:{port}; got {value!r}"
+            )
+    if not port.isdigit():
+        raise ValueError(usage)
     return host, int(port)
 
 
@@ -180,10 +219,14 @@ def _run_stdin(pool: ServingPool, out) -> int:
 def _run_http(pool: ServingPool, out) -> int:
     """The HTTP daemon loop: bind, announce, block until drained.
 
-    Host/port come from ``pool.config`` (``main`` parsed the ``--http``
-    flag into it, so the address went through ServingConfig validation).
+    Host/port and backend come from ``pool.config`` (``main`` parsed the
+    ``--http``/``--http-backend`` flags into it, so both went through
+    ServingConfig validation).  The two backends expose the same front
+    end surface, so everything past the factory call is shared.
     """
-    front = serve_http(pool)
+    serve = (serve_http_async if pool.config.http_backend == "asyncio"
+             else serve_http)
+    front = serve(pool)
     try:
         print(f"serving HTTP on {front.url}", file=out, flush=True)
         try:
@@ -209,6 +252,8 @@ def main(argv: list[str] | None = None, stdout=None) -> int:
             host, port = _parse_host_port(args.http)
             overrides["http_host"] = host
             overrides["http_port"] = port
+        if args.http_backend is not None:
+            overrides["http_backend"] = args.http_backend
         if args.max_request_bytes is not None:
             overrides["max_request_bytes"] = args.max_request_bytes
         if args.request_timeout_s is not None:

@@ -81,10 +81,27 @@ class PendingPrediction:
         self._event = threading.Event()
         self._value: WeakLabels | None = None
         self._error: BaseException | None = None
+        self._cb_lock = threading.Lock()
+        self._callbacks: list = []
 
     def done(self) -> bool:
         """Whether the request has settled (resolved *or* failed)."""
         return self._event.is_set()
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(self)`` once the request settles (now, if it already has).
+
+        Callbacks run on the settling thread — the dispatcher's collect
+        loop — so they must be cheap and non-blocking.  This is the
+        no-thread-parked completion hook the asyncio front end uses to hop
+        a settled result onto its event loop instead of burning one
+        waiting thread per in-flight request.
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     def result(self, timeout: float | None = None) -> WeakLabels:
         """Block for the response.
@@ -112,11 +129,18 @@ class PendingPrediction:
 
     def _resolve(self, value: WeakLabels) -> None:
         self._value = value
-        self._event.set()
+        self._settle_and_notify()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
-        self._event.set()
+        self._settle_and_notify()
+
+    def _settle_and_notify(self) -> None:
+        with self._cb_lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
 
 
 @dataclass(eq=False)  # identity semantics: hashable member of the live set
@@ -187,6 +211,11 @@ class Dispatcher:
         self._refusing: str | None = None  # reason submits are rejected
         self._failure: ServingError | None = None
         self._collect_stop = threading.Event()
+        # Self-pipe so stop() can wake a collect loop that is blocked
+        # indefinitely in connection_wait (worker results and worker
+        # deaths wake it on their own: each result queue's reader polls
+        # readable on a message, and on EOF when its worker dies).
+        self._wake_r, self._wake_w = os.pipe()
         self._dispatch_thread = threading.Thread(
             target=self._dispatch_loop, name="serving-dispatch", daemon=True
         )
@@ -241,13 +270,22 @@ class Dispatcher:
 
         while True:
             if staging:
-                timeout = min(0.05, max(0.0, deadline - time.monotonic()))
+                # Block exactly until the coalescing deadline: a new
+                # submit wakes the get immediately, and an undisturbed
+                # wait flushes on time — no fixed-granularity polling
+                # floor under max_wait_ms, no early wakeups.
+                try:
+                    item = self._inbox.get(
+                        timeout=max(0.0, deadline - time.monotonic())
+                    )
+                except queue.Empty:
+                    item = None
             else:
-                timeout = 0.05
-            try:
-                item = self._inbox.get(timeout=timeout)
-            except queue.Empty:
-                item = None
+                # Idle: block indefinitely.  Both wake sources are inbox
+                # puts (submit() enqueues requests, stop() enqueues the
+                # _STOP sentinel), so an idle pool takes zero scheduled
+                # wakeups instead of 20/sec.
+                item = self._inbox.get()
             if item is _STOP:
                 flush()
                 return
@@ -296,11 +334,26 @@ class Dispatcher:
                     for handle in self._pool._workers.values()
                 }
             try:
-                ready = connection_wait(list(readers), timeout=0.05)
+                # Block until something real happens: a worker message, a
+                # worker death (its queue reader polls readable on EOF once
+                # the last writer closes), or a stop() wake through the
+                # self-pipe.  No fixed 50 ms poll — an idle pool takes zero
+                # scheduled wakeups here.
+                ready = connection_wait([*readers, self._wake_r],
+                                        timeout=None)
             except OSError:
-                ready = []  # a reader closed under us (respawn/teardown)
+                # A reader closed under us (respawn/teardown); back off so
+                # a persistently bad fd cannot turn this into a busy spin.
+                time.sleep(0.01)
+                ready = []
+            if self._wake_r in ready:
+                try:
+                    os.read(self._wake_r, 4096)
+                except OSError:
+                    pass
             for reader in ready:
-                self._drain_results(readers[reader])
+                if reader in readers:
+                    self._drain_results(readers[reader])
             try:
                 self._reap_dead_workers()
             except Exception as exc:
@@ -537,7 +590,16 @@ class Dispatcher:
                         "serving pool shut down before the request completed"
                     ))
         self._collect_stop.set()
+        try:
+            os.write(self._wake_w, b"x")  # wake an indefinitely-blocked wait
+        except OSError:
+            pass
         self._collect_thread.join(timeout=5.0)
+        for fd in (self._wake_r, self._wake_w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
 
 
 def t_images(task: _Task) -> int:

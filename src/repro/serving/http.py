@@ -35,39 +35,80 @@ Endpoints (full reference with schemas and a curl walkthrough in
 
 Error contract: every failure is ``{"error": {"code", "message",
 "status"}}`` (:mod:`repro.serving.protocol`), with distinct status codes —
-400 malformed payload, 404 unknown path, 405 wrong method, 411 missing
-length, 413 oversized request, 503 draining/failed pool, 504 request
+400 malformed payload, 404 unknown path, 405 wrong method, 408 stalled
+body, 411 missing length, 413 oversized request (raw *or* after gzip
+inflation), 415 unsupported ``Content-Encoding``, 503 draining/failed
+pool (with a ``Retry-After`` header so clients back off), 504 request
 timeout.  One request can never affect another: validation happens before
 ``submit`` (a bad image fails only its own request), and each request's
 images are validated by the same :func:`~repro.serving.protocol.
 coerce_images` the in-process and stdin front ends use, so error messages
-match across transports.
+match across transports — including the asyncio front end
+(:mod:`repro.serving.aio`), which serves this exact surface through the
+same protocol helpers.
+
+Compression: request bodies may be gzipped (``Content-Encoding: gzip``);
+they are inflated under the same ``max_request_bytes`` budget, so a gzip
+bomb is refused with 413 before full decompression.  Responses are
+gzipped for clients sending ``Accept-Encoding: gzip`` when the body
+reaches ``gzip_min_bytes`` (base64 float64 images are ~3× raw, so this is
+a real wire win); compressed bytes are deterministic (``mtime=0``), so
+transport byte-identity holds for compressed responses too.
 
 Threading model: ``ThreadingHTTPServer`` runs one daemon thread per
 connection; handler threads block in ``pool.predict`` while the
 dispatcher's own threads coalesce their requests into micro-batches.  The
 accept loop runs in a background thread owned by :class:`HttpFrontEnd`;
-nothing here touches worker processes directly.
+nothing here touches worker processes directly.  IPv6 bind hosts select
+``AF_INET6`` automatically, and :attr:`HttpFrontEnd.url` always renders a
+connectable URL (bracketed v6, wildcard binds mapped to loopback).
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.serving.dispatcher import ServingError, debug
 from repro.serving.protocol import (
+    RETRY_AFTER_S,
     RequestError,
+    accepts_gzip,
     decode_image,
+    decompress_body,
     envelope_for,
     error_envelope,
+    format_base_url,
+    gzip_body,
+    health_payload,
     parse_label_request,
     response_payload,
 )
 
 __all__ = ["HttpFrontEnd", "serve_http"]
+
+
+class _HttpServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` with a per-instance address family.
+
+    The stdlib class pins ``address_family`` to ``AF_INET`` at class
+    level, so an IPv6 bind host (``::1``) would fail at socket creation;
+    shadowing it on the instance before ``TCPServer.__init__`` creates
+    the socket is the supported way to rebind the family per server.
+    """
+
+    # TCPServer's default listen backlog is 5 — a burst of concurrent
+    # clients connecting at once overflows it and gets connection resets.
+    # Match asyncio.start_server's default (100) so both front ends
+    # tolerate the same connect storms.
+    request_queue_size = 100
+
+    def __init__(self, address, handler, family=socket.AF_INET):
+        self.address_family = family
+        super().__init__(address, handler)
 
 
 class HttpFrontEnd:
@@ -80,14 +121,20 @@ class HttpFrontEnd:
     """
 
     def __init__(self, pool, host: str, port: int,
-                 max_request_bytes: int, request_timeout_s: float):
+                 max_request_bytes: int, request_timeout_s: float,
+                 gzip_responses: bool = True, gzip_min_bytes: int = 512,
+                 gzip_level: int = 6):
         self.pool = pool
         self.max_request_bytes = max_request_bytes
         self.request_timeout_s = request_timeout_s
+        self.gzip_responses = gzip_responses
+        self.gzip_min_bytes = gzip_min_bytes
+        self.gzip_level = gzip_level
         self._drained = threading.Event()
         self._refusing: str | None = None
         self._lock = threading.Lock()
-        self._server = ThreadingHTTPServer((host, port), _Handler)
+        family = socket.AF_INET6 if ":" in host else socket.AF_INET
+        self._server = _HttpServer((host, port), _Handler, family=family)
         self._server.daemon_threads = True
         self._server.front = self
         self._thread = threading.Thread(
@@ -103,9 +150,14 @@ class HttpFrontEnd:
 
     @property
     def url(self) -> str:
-        """Base URL clients should target, e.g. ``http://127.0.0.1:8765``."""
-        host, port = self.address
-        return f"http://{host}:{port}"
+        """Base URL clients can connect to, e.g. ``http://127.0.0.1:8765``.
+
+        IPv6 hosts are bracketed (``http://[::1]:8765``) and wildcard
+        binds (``0.0.0.0``/``::``) are mapped to the loopback address —
+        a URL a client on this machine can actually open, rather than
+        the unconnectable bind address.
+        """
+        return format_base_url(*self.address)
 
     def drain(self, timeout: float | None = None) -> bool:
         """Refuse new label requests, then wait for in-flight ones.
@@ -152,12 +204,17 @@ class HttpFrontEnd:
 
 def serve_http(pool, host: str | None = None, port: int | None = None, *,
                max_request_bytes: int | None = None,
-               request_timeout_s: float | None = None) -> HttpFrontEnd:
+               request_timeout_s: float | None = None,
+               gzip_responses: bool | None = None,
+               gzip_min_bytes: int | None = None,
+               gzip_level: int | None = None) -> HttpFrontEnd:
     """Expose ``pool`` over HTTP; returns the running :class:`HttpFrontEnd`.
 
     Args:
         pool: a started :class:`~repro.serving.pool.ServingPool`.
         host: interface to bind (default ``pool.config.http_host``).
+            IPv6 hosts (``"::1"``, ``"::"``) select ``AF_INET6``
+            automatically.
         port: TCP port to bind; ``0`` picks an ephemeral port, readable
             back from :attr:`HttpFrontEnd.address` (default
             ``pool.config.http_port``).
@@ -167,6 +224,13 @@ def serve_http(pool, host: str | None = None, port: int | None = None, *,
         request_timeout_s: per-request bound on waiting for the pool's
             response; an overrun answers 504 (default
             ``pool.config.request_timeout_s``).
+        gzip_responses: compress response bodies for clients that send
+            ``Accept-Encoding: gzip`` (default
+            ``pool.config.gzip_responses``).
+        gzip_min_bytes: smallest body worth compressing (default
+            ``pool.config.gzip_min_bytes``).
+        gzip_level: zlib compression level 1-9 (default
+            ``pool.config.gzip_level``).
 
     Returns:
         The bound front end, its accept loop already running.
@@ -183,6 +247,12 @@ def serve_http(pool, host: str | None = None, port: int | None = None, *,
                            if max_request_bytes is None else max_request_bytes),
         request_timeout_s=(config.request_timeout_s
                            if request_timeout_s is None else request_timeout_s),
+        gzip_responses=(config.gzip_responses
+                        if gzip_responses is None else gzip_responses),
+        gzip_min_bytes=(config.gzip_min_bytes
+                        if gzip_min_bytes is None else gzip_min_bytes),
+        gzip_level=(config.gzip_level
+                    if gzip_level is None else gzip_level),
     )
     debug(f"http front end listening on {front.url}")
     return front
@@ -193,6 +263,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = "InspectorGadgetServing/1.0"
     protocol_version = "HTTP/1.1"  # keep-alive; responses carry Content-Length
+    # TCP_NODELAY: headers and body go out as two writes, and with Nagle
+    # on, the body write stalls behind the client's delayed ACK (~40 ms
+    # per response on a keep-alive connection).  asyncio transports set
+    # this by default; match it.
+    disable_nagle_algorithm = True
 
     @property
     def front(self) -> HttpFrontEnd:
@@ -288,25 +363,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _healthz(self, query: dict) -> None:
         health = self.front.pool.health()
-        payload = {
-            "ok": health.ok,
-            "draining": self.front.refusing() is not None,
-            "pending_requests": health.pending_requests,
-            "respawns_left": health.respawns_left,
-            "failure": health.failure,
-            "workers": [
-                {
-                    "worker_id": w.worker_id,
-                    "pid": w.pid,
-                    "alive": w.alive,
-                    "ready": w.ready,
-                    "outstanding_tasks": w.outstanding_tasks,
-                    "outstanding_images": w.outstanding_images,
-                    "tasks_done": w.tasks_done,
-                }
-                for w in health.workers
-            ],
-        }
+        payload = health_payload(health, self.front.refusing() is not None)
         if query.get("ping"):
             try:
                 rtts = self.front.pool.ping(timeout=2.0)
@@ -394,7 +451,7 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return None
         try:
-            return self.rfile.read(length)
+            raw = self.rfile.read(length)
         except TimeoutError:
             # The client stalled mid-body (socket timeout from setup()).
             # The read side is dead but the write side usually is not;
@@ -406,12 +463,37 @@ class _Handler(BaseHTTPRequestHandler):
                 f"{self.front.request_timeout_s}s",
             )
             return None
+        try:
+            # Shared with the asyncio front end: identity passthrough,
+            # gzip inflated under the same max_request_bytes budget (a
+            # gzip bomb answers 413 without ever being fully inflated),
+            # anything else 415.  The body was fully read, so keep-alive
+            # framing is intact — no connection close on these errors.
+            return decompress_body(
+                raw, self.headers.get("Content-Encoding"),
+                self.front.max_request_bytes,
+            )
+        except RequestError as exc:
+            self._send_json_envelope(envelope_for(exc))
+            return None
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
+        encoding = None
+        if (self.front.gzip_responses
+                and len(body) >= self.front.gzip_min_bytes
+                and accepts_gzip(self.headers.get("Accept-Encoding"))):
+            body = gzip_body(body, level=self.front.gzip_level)
+            encoding = "gzip"
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        if encoding:
+            self.send_header("Content-Encoding", encoding)
         self.send_header("Content-Length", str(len(body)))
+        if status == 503:
+            # Both 503 flavours (draining and dead pool) are conditions a
+            # client should back off from, not hammer.
+            self.send_header("Retry-After", str(RETRY_AFTER_S))
         if self.close_connection:
             # Refused-unread paths close the connection (see _read_body);
             # advertise it so keep-alive clients don't retry into a

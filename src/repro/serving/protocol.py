@@ -17,16 +17,30 @@ no matter how it arrived (pinned by a message-equality test in
   ``{"image": <image>}`` or ``{"images": [<image>, ...]}``.
 * :class:`RequestError` + :func:`error_envelope` — the one error shape
   every front end emits: ``{"error": {"code", "message", "status"}}``.
-* :func:`response_payload` — the one success shape: labels, confidence
-  and probabilities as JSON floats.  Python's ``json`` serializes floats
-  with shortest-round-trip ``repr``, so a client that parses them back
-  into float64 recovers the pool's output **byte-identically**.
+* :func:`response_payload` / :func:`health_payload` — the success shapes:
+  labels, confidence and probabilities as JSON floats (``/v1/label``) and
+  the ``/healthz`` body.  Python's ``json`` serializes floats with
+  shortest-round-trip ``repr``, so a client that parses them back into
+  float64 recovers the pool's output **byte-identically** — and because
+  both HTTP front ends build their payloads here, their response bodies
+  are byte-identical to each other too.
+* :func:`decompress_body` / :func:`accepts_gzip` / :func:`gzip_body` —
+  the one gzip seam for every transport: request bodies arrive with
+  ``Content-Encoding: gzip`` (bounded by ``max_request_bytes`` *before*
+  full decompression, so a gzip bomb is refused with 413 cheaply) and
+  responses are compressed for ``Accept-Encoding: gzip`` clients with a
+  pinned mtime, keeping compressed bytes deterministic across transports.
+* :func:`format_base_url` — the one ``host:port`` → URL formatter:
+  brackets IPv6 literals and maps wildcard binds to a
+  loopback-connectable address, so startup banners are always pasteable.
 """
 
 from __future__ import annotations
 
 import base64
 import binascii
+import gzip as _gzip
+import zlib
 
 import numpy as np
 
@@ -34,15 +48,27 @@ from repro.imaging.ops import as_image
 from repro.labeler.weak_labels import WeakLabels
 
 __all__ = [
+    "RETRY_AFTER_S",
     "RequestError",
+    "accepts_gzip",
     "coerce_images",
     "decode_image",
+    "decompress_body",
     "encode_image",
     "envelope_for",
     "error_envelope",
+    "format_base_url",
+    "gzip_body",
+    "health_payload",
     "parse_label_request",
     "response_payload",
 ]
+
+# Seconds a 503 response tells well-behaved clients to back off before
+# retrying (the Retry-After header, sent by both HTTP front ends): long
+# enough that a draining pool is not hammered on its way down, short
+# enough that a respawning pool is retried promptly.
+RETRY_AFTER_S = 5
 
 # dtypes accepted in base64 image envelopes: any real numeric scalar kind.
 # Rejecting everything else up front keeps object/str/void payloads from
@@ -235,6 +261,131 @@ def envelope_for(exc: BaseException, *, default_status: int = 500) -> dict:
     if isinstance(exc, OSError):
         return error_envelope("io_error", str(exc), 400)
     return error_envelope("internal", str(exc), default_status)
+
+
+_WILDCARD_HOSTS = {"0.0.0.0": "127.0.0.1", "::": "::1", "": "127.0.0.1"}
+
+
+def format_base_url(host: str, port: int) -> str:
+    """The base URL clients should target for a bound ``(host, port)``.
+
+    IPv6 literals are bracketed (``http://[::1]:8765`` — unbracketed v6
+    hosts are not valid URLs), and wildcard binds (``0.0.0.0``/``::``)
+    map to their loopback address so the startup banner prints a URL a
+    client on the same machine can actually connect to.
+    """
+    connect_host = _WILDCARD_HOSTS.get(host, host)
+    if ":" in connect_host:
+        connect_host = f"[{connect_host}]"
+    return f"http://{connect_host}:{port}"
+
+
+def decompress_body(body: bytes, content_encoding: str | None,
+                    max_bytes: int) -> bytes:
+    """Undo a request body's ``Content-Encoding``; the one gzip seam.
+
+    ``identity``/absent returns the body untouched.  ``gzip`` inflates it
+    with the output bounded by ``max_bytes`` — a body that *decompresses*
+    past the limit is refused with the same 413 identity as one whose
+    compressed size tripped the Content-Length check, without ever
+    materializing the full bomb.  Raises :class:`RequestError` with code
+    ``unsupported_encoding``/415 for any other encoding and
+    ``bad_request``/400 for corrupt or truncated gzip data.
+    """
+    encoding = (content_encoding or "identity").strip().lower()
+    if encoding in ("", "identity"):
+        return body
+    if encoding != "gzip":
+        raise RequestError(
+            "unsupported_encoding",
+            f"unsupported Content-Encoding {content_encoding!r} "
+            "(only gzip and identity)",
+            415,
+        )
+    decompressor = zlib.decompressobj(wbits=16 + zlib.MAX_WBITS)
+    out = bytearray()
+    data = body
+    try:
+        while True:
+            out += decompressor.decompress(data, max_bytes + 1 - len(out))
+            if len(out) > max_bytes or not decompressor.unconsumed_tail:
+                break
+            data = decompressor.unconsumed_tail
+        if len(out) <= max_bytes and not decompressor.eof:
+            raise zlib.error("truncated gzip stream")
+    except zlib.error as exc:
+        raise RequestError(
+            "bad_request", f"request body is not valid gzip ({exc})"
+        ) from exc
+    if len(out) > max_bytes:
+        raise RequestError(
+            "payload_too_large",
+            f"request body decompresses past the limit of {max_bytes} "
+            "bytes (ServingConfig.max_request_bytes)",
+            413,
+        )
+    return bytes(out)
+
+
+def accepts_gzip(accept_encoding: str | None) -> bool:
+    """Whether an ``Accept-Encoding`` header opts into gzip responses.
+
+    Token scan over the comma-separated list: ``gzip`` (or ``*``) with a
+    non-zero ``q`` accepts.  Absent or empty headers decline — a client
+    that did not ask never has to decompress.
+    """
+    if not accept_encoding:
+        return False
+    for part in accept_encoding.split(","):
+        token, _, params = part.partition(";")
+        if token.strip().lower() not in ("gzip", "*"):
+            continue
+        params = params.strip().lower()
+        if params.startswith("q="):
+            try:
+                return float(params[2:]) > 0
+            except ValueError:
+                return False
+        return True
+    return False
+
+
+def gzip_body(body: bytes, level: int = 6) -> bytes:
+    """Gzip a response body deterministically (``mtime=0``).
+
+    Pinning the gzip header timestamp keeps compressed response bytes a
+    pure function of the payload, so the two HTTP front ends stay
+    byte-identical even when responding compressed.
+    """
+    return _gzip.compress(body, compresslevel=level, mtime=0)
+
+
+def health_payload(health, draining: bool) -> dict:
+    """The ``GET /healthz`` body for one pool health snapshot.
+
+    Shared by both HTTP front ends so their health responses are built —
+    and serialize — identically; ``health`` is a
+    :class:`~repro.serving.pool.PoolHealth`.
+    """
+    return {
+        "ok": health.ok,
+        "draining": draining,
+        "pending_requests": health.pending_requests,
+        "respawns_left": health.respawns_left,
+        "failure": health.failure,
+        "workers": [
+            {
+                "worker_id": w.worker_id,
+                "pid": w.pid,
+                "alive": w.alive,
+                "ready": w.ready,
+                "outstanding_tasks": w.outstanding_tasks,
+                "outstanding_images": w.outstanding_images,
+                "tasks_done": w.tasks_done,
+            }
+            for w in health.workers
+        ],
+    }
 
 
 def response_payload(weak: WeakLabels) -> dict:

@@ -32,6 +32,31 @@ def tiny_neu():
 
 
 @pytest.fixture(scope="session")
+def serving_profile(tiny_ksdd, tmp_path_factory):
+    """A fitted tiny profile on disk, shared by the serving transport suites.
+
+    Session-scoped because fitting even the tiny profile costs seconds
+    and both HTTP front-end suites (threaded and asyncio) pin their
+    responses against the same saved profile.
+    """
+    from repro.augment.augmenter import AugmentConfig
+    from repro.core.config import InspectorGadgetConfig
+    from repro.core.pipeline import InspectorGadget
+    from repro.crowd.workflow import WorkflowConfig as _WorkflowConfig
+
+    config = InspectorGadgetConfig(
+        workflow=_WorkflowConfig(target_defective=4),
+        augment=AugmentConfig(mode="none"),
+        tune=False,
+        labeler_max_iter=40,
+        seed=0,
+    )
+    ig = InspectorGadget(config)
+    ig.fit(tiny_ksdd)
+    return ig.save(tmp_path_factory.mktemp("serving-profile") / "tiny.igz")
+
+
+@pytest.fixture(scope="session")
 def ksdd_crowd(tiny_ksdd):
     """A finished crowd run over the tiny KSDD pool."""
     workflow = CrowdsourcingWorkflow(

@@ -1,0 +1,525 @@
+"""Tests for the asyncio HTTP front end: parity with the threaded one.
+
+The tentpole contract is *indistinguishability*: the asyncio transport
+(:mod:`repro.serving.aio`) serves the same endpoints with byte-identical
+response bodies and message-equal error envelopes as the threaded
+transport — the backend is a deployment knob, never an API change.
+
+1. **Byte-identity** — for worker counts {1, 2, 4}, concurrent clients of
+   the asyncio front end parse back probabilities byte-identical to
+   single-process ``predict``; and for one shared pool carrying both
+   fronts, raw response bodies (including gzip-compressed ones) are
+   byte-equal between transports.
+2. **Error parity** — every error class (400 malformed/schema/validation,
+   404, 405, 411, 413, 415, 503 + Retry-After, 504) answers the same
+   status and the same envelope through both fronts.
+3. **Lifecycle** — drain semantics, keep-alive behavior, unread-body
+   connection closes, and the CLI's ``--http-backend asyncio`` daemon
+   mode all mirror the threaded behavior.
+
+Pools spawn real processes; like the other serving suites this file runs
+in CI's dedicated serving-smoke job, not the fast matrix.
+"""
+
+from __future__ import annotations
+
+import gzip
+import http.client
+import io
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import InspectorGadget
+from repro.serving import ServingPool, serve_http, serve_http_async
+from repro.serving.cli import main as cli_main
+from repro.serving.protocol import encode_image
+from test_serving_http import probs_of, request_json
+
+
+@pytest.fixture(scope="module")
+def images(tiny_ksdd):
+    return [item.image for item in tiny_ksdd.images]
+
+
+@pytest.fixture(scope="module")
+def baseline(serving_profile):
+    """The single-process reference every response must match."""
+    return InspectorGadget.load(serving_profile)
+
+
+@pytest.fixture(scope="module")
+def dual(serving_profile):
+    """ONE pool carrying both front ends — the parity test bed.
+
+    Same dispatcher, same workers, same config: any response difference
+    between the two fronts is a transport bug by construction.
+    """
+    with ServingPool(serving_profile, workers=2, max_batch=4,
+                     max_wait_ms=2.0) as pool:
+        with serve_http(pool, host="127.0.0.1", port=0) as threaded:
+            with serve_http_async(pool, host="127.0.0.1", port=0) as aio:
+                yield pool, threaded, aio
+
+
+def raw_request(front, method: str, path: str, body: bytes | None = None,
+                headers: dict | None = None, timeout: float = 120.0):
+    """(status, headers, raw body bytes) — no decoding, no raising."""
+    host, port = front.address
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_concurrent_clients_match_single_process(
+        self, serving_profile, images, baseline, workers
+    ):
+        """Acceptance: concurrent asyncio-front clients mixing single and
+        batch requests and both wire encodings each parse back their exact
+        single-process answer, for N ∈ {1, 2, 4} with max_batch splits."""
+        requests = [
+            {"image": encode_image(images[0])},
+            {"images": [encode_image(img) for img in images[:5]]},
+            {"image": images[7].tolist()},
+            {"images": [img.tolist() for img in images[3:9]]},
+            {"images": [encode_image(images[2]), images[11].tolist()]},
+            {"image": encode_image(images[9])},
+        ]
+        expected = [
+            baseline.predict([images[0]]).probs.tobytes(),
+            baseline.predict(images[:5]).probs.tobytes(),
+            baseline.predict([images[7]]).probs.tobytes(),
+            baseline.predict(images[3:9]).probs.tobytes(),
+            baseline.predict([images[2], images[11]]).probs.tobytes(),
+            baseline.predict([images[9]]).probs.tobytes(),
+        ]
+        with ServingPool(serving_profile, workers=workers, max_batch=3,
+                         max_wait_ms=2.0) as pool:
+            with serve_http_async(pool, host="127.0.0.1", port=0) as front:
+                url = front.url + "/v1/label"
+                results: list[bytes | None] = [None] * len(requests)
+                errors: list[BaseException] = []
+
+                def client(i: int) -> None:
+                    try:
+                        status, resp = request_json(url, "POST",
+                                                    payload=requests[i])
+                        assert status == 200, resp
+                        results[i] = probs_of(resp)
+                    except BaseException as exc:  # surfaced below
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=client, args=(i,))
+                           for i in range(len(requests))]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=120)
+        assert not errors
+        assert results == expected
+
+    def test_raw_bodies_equal_threaded_front(self, dual, images):
+        """The sharpest form of transport parity: the exact bytes on the
+        wire are equal for the same request through either front."""
+        _, threaded, aio = dual
+        payloads = [
+            {"image": encode_image(images[0])},
+            {"images": [encode_image(img) for img in images[:4]]},
+            {"image": images[5].tolist()},
+        ]
+        for payload in payloads:
+            body = json.dumps(payload).encode()
+            headers = {"Content-Type": "application/json"}
+            t_status, _, t_body = raw_request(
+                threaded, "POST", "/v1/label", body, headers)
+            a_status, _, a_body = raw_request(
+                aio, "POST", "/v1/label", body, headers)
+            assert t_status == a_status == 200
+            assert t_body == a_body
+
+    def test_keep_alive_serves_sequential_requests(self, dual, images,
+                                                   baseline):
+        """One connection, several requests — HTTP/1.1 keep-alive works."""
+        _, _, aio = dual
+        host, port = aio.address
+        expected = baseline.predict([images[0]]).probs.tobytes()
+        conn = http.client.HTTPConnection(host, port, timeout=120)
+        try:
+            for _ in range(3):
+                conn.request(
+                    "POST", "/v1/label",
+                    body=json.dumps({"image": images[0].tolist()}).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                resp = conn.getresponse()
+                payload = json.loads(resp.read())
+                assert resp.status == 200
+                assert probs_of(payload) == expected
+        finally:
+            conn.close()
+
+
+class TestErrorParity:
+    """Same status, same envelope, through either front — per error class."""
+
+    CASES = [
+        ("invalid_json", "POST", "/v1/label", b"{nope", {}),
+        ("missing_keys", "POST", "/v1/label",
+         json.dumps({"imgs": []}).encode(), {}),
+        ("empty_batch", "POST", "/v1/label",
+         json.dumps({"images": []}).encode(), {}),
+        ("non_list_images", "POST", "/v1/label",
+         json.dumps({"images": "a.npy"}).encode(), {}),
+        ("non_2d", "POST", "/v1/label",
+         json.dumps({"image": [1.0, 2.0]}).encode(), {}),
+        ("bad_dtype", "POST", "/v1/label",
+         json.dumps({"image": {"data": "AAAA", "shape": [1, 3],
+                               "dtype": "object"}}).encode(), {}),
+        ("not_found_get", "GET", "/nope", None, {}),
+        ("not_found_post", "POST", "/v2/label", b"{}", {}),
+        ("wrong_method_get", "GET", "/v1/label", None, {}),
+        ("wrong_method_post", "POST", "/healthz", b"{}", {}),
+        ("unknown_encoding", "POST", "/v1/label", b"x",
+         {"Content-Encoding": "br"}),
+        ("corrupt_gzip", "POST", "/v1/label", b"not gzip",
+         {"Content-Encoding": "gzip"}),
+    ]
+
+    @pytest.mark.parametrize(
+        "name,method,path,body,extra", CASES, ids=[c[0] for c in CASES])
+    def test_envelope_parity(self, dual, name, method, path, body, extra):
+        _, threaded, aio = dual
+        headers = {"Content-Type": "application/json", **extra}
+        t_status, _, t_body = raw_request(threaded, method, path, body,
+                                          headers)
+        a_status, _, a_body = raw_request(aio, method, path, body, headers)
+        assert t_status == a_status
+        assert t_status >= 400
+        assert json.loads(t_body) == json.loads(a_body)
+        assert json.loads(t_body)["error"]["status"] == t_status
+
+    def test_missing_content_length_is_411_on_both(self, dual):
+        _, threaded, aio = dual
+        envelopes = {}
+        for key, front in (("threaded", threaded), ("aio", aio)):
+            host, port = front.address
+            conn = http.client.HTTPConnection(host, port, timeout=120)
+            try:
+                conn.putrequest("POST", "/v1/label")
+                conn.endheaders()
+                resp = conn.getresponse()
+                envelopes[key] = (resp.status, json.loads(resp.read()))
+            finally:
+                conn.close()
+        assert envelopes["threaded"][0] == envelopes["aio"][0] == 411
+        assert envelopes["threaded"][1] == envelopes["aio"][1]
+
+    def test_oversized_is_413_on_both(self, dual, images):
+        pool, _, _ = dual
+        payload = json.dumps(
+            {"images": [encode_image(images[0])]}).encode()
+        headers = {"Content-Type": "application/json"}
+        with serve_http(pool, host="127.0.0.1", port=0,
+                        max_request_bytes=2048) as t_small:
+            t_status, _, t_body = raw_request(
+                t_small, "POST", "/v1/label", payload, headers)
+        with serve_http_async(pool, host="127.0.0.1", port=0,
+                              max_request_bytes=2048) as a_small:
+            a_status, _, a_body = raw_request(
+                a_small, "POST", "/v1/label", payload, headers)
+        assert t_status == a_status == 413
+        assert json.loads(t_body) == json.loads(a_body)
+
+    def test_gzip_bomb_is_413_on_both(self, dual):
+        pool, _, _ = dual
+        bomb = gzip.compress(b"0" * (2 * 1024 * 1024))
+        assert len(bomb) < 4096
+        headers = {"Content-Type": "application/json",
+                   "Content-Encoding": "gzip"}
+        with serve_http(pool, host="127.0.0.1", port=0,
+                        max_request_bytes=4096) as t_small:
+            t_status, _, t_body = raw_request(
+                t_small, "POST", "/v1/label", bomb, headers)
+        with serve_http_async(pool, host="127.0.0.1", port=0,
+                              max_request_bytes=4096) as a_small:
+            a_status, _, a_body = raw_request(
+                a_small, "POST", "/v1/label", bomb, headers)
+        assert t_status == a_status == 413
+        assert json.loads(t_body) == json.loads(a_body)
+        assert "decompresses past" in json.loads(a_body)["error"]["message"]
+
+    def test_timeout_is_504_with_equal_message(self, dual):
+        """A request that cannot finish inside request_timeout_s answers
+        504 with the identical message through either front (the asyncio
+        front synthesizes the TimeoutError text the pool would raise)."""
+        pool, _, _ = dual
+        rng = np.random.default_rng(0)
+        # The probe request itself is tiny (no 408 risk from a slow body
+        # write); it times out because FIFO dispatch queues it behind
+        # several seconds of primer work submitted in-process first.
+        big = [rng.random((768, 768)) for _ in range(4)]
+        payload = json.dumps(
+            {"image": rng.random((32, 32)).tolist()}).encode()
+        headers = {"Content-Type": "application/json"}
+        try:
+            primers = [pool.submit(big) for _ in range(6)]
+            with serve_http(pool, host="127.0.0.1", port=0,
+                            request_timeout_s=0.05) as t_front:
+                t_status, _, t_body = raw_request(
+                    t_front, "POST", "/v1/label", payload, headers)
+            with serve_http_async(pool, host="127.0.0.1", port=0,
+                                  request_timeout_s=0.05) as a_front:
+                primers += [pool.submit(big) for _ in range(6)]
+                a_status, _, a_body = raw_request(
+                    a_front, "POST", "/v1/label", payload, headers)
+        finally:
+            # The timed-out requests keep computing in the pool; let them
+            # settle so later tests see a quiet pool (and equal healthz
+            # snapshots across fronts).
+            deadline = time.monotonic() + 120
+            while (pool.health().pending_requests > 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+        assert t_status == a_status == 504
+        assert json.loads(t_body) == json.loads(a_body)
+        assert json.loads(a_body)["error"]["code"] == "timeout"
+
+    def test_unread_body_closes_connection_on_both(self, dual, images):
+        _, threaded, aio = dual
+        body = json.dumps({"image": images[0].tolist()}).encode()
+        for front in (threaded, aio):
+            status, headers, raw = raw_request(
+                front, "POST", "/healthz", body,
+                {"Content-Type": "application/json"})
+            assert status == 405
+            assert headers.get("Connection") == "close"
+            assert json.loads(raw)["error"]["code"] == "method_not_allowed"
+
+
+class TestGzip:
+    def test_gzip_request_round_trip(self, dual, images, baseline):
+        _, _, aio = dual
+        raw = json.dumps({"image": images[0].tolist()}).encode()
+        status, _, body = raw_request(
+            aio, "POST", "/v1/label", gzip.compress(raw),
+            {"Content-Type": "application/json",
+             "Content-Encoding": "gzip"})
+        assert status == 200
+        assert probs_of(json.loads(body)) == baseline.predict(
+            [images[0]]).probs.tobytes()
+
+    def test_gzip_response_negotiated(self, dual, images, baseline):
+        _, _, aio = dual
+        # 16 images keeps the response over the gzip_min_bytes floor.
+        body = json.dumps(
+            {"images": [img.tolist() for img in images[:16]]}).encode()
+        status, headers, raw = raw_request(
+            aio, "POST", "/v1/label", body,
+            {"Content-Type": "application/json",
+             "Accept-Encoding": "gzip"})
+        assert status == 200
+        assert headers.get("Content-Encoding") == "gzip"
+        assert probs_of(json.loads(gzip.decompress(raw))) == \
+            baseline.predict(images[:16]).probs.tobytes()
+
+    def test_compressed_bytes_equal_across_fronts(self, dual, images):
+        """gzip_body pins mtime=0, so even the *compressed* response is
+        byte-identical between the two transports."""
+        _, threaded, aio = dual
+        body = json.dumps(
+            {"images": [encode_image(img) for img in images[:16]]}).encode()
+        headers = {"Content-Type": "application/json",
+                   "Accept-Encoding": "gzip"}
+        t_status, t_headers, t_raw = raw_request(
+            threaded, "POST", "/v1/label", body, headers)
+        a_status, a_headers, a_raw = raw_request(
+            aio, "POST", "/v1/label", body, headers)
+        assert t_status == a_status == 200
+        assert t_headers.get("Content-Encoding") == "gzip"
+        assert a_headers.get("Content-Encoding") == "gzip"
+        assert t_raw == a_raw
+
+    def test_no_gzip_without_accept_encoding(self, dual, images):
+        _, _, aio = dual
+        body = json.dumps({"image": images[0].tolist()}).encode()
+        status, headers, raw = raw_request(
+            aio, "POST", "/v1/label", body,
+            {"Content-Type": "application/json"})
+        assert status == 200
+        assert headers.get("Content-Encoding") is None
+        json.loads(raw)  # plain JSON
+
+
+class TestObservability:
+    def test_healthz_equal_across_fronts(self, dual):
+        _, threaded, aio = dual
+        t_status, _, t_body = raw_request(threaded, "GET", "/healthz")
+        a_status, _, a_body = raw_request(aio, "GET", "/healthz")
+        assert t_status == a_status == 200
+        assert json.loads(t_body) == json.loads(a_body)
+        payload = json.loads(a_body)
+        assert payload["ok"] is True
+        assert len(payload["workers"]) == 2
+
+    def test_healthz_ping(self, dual):
+        _, _, aio = dual
+        status, resp = request_json(aio.url + "/healthz?ping=1")
+        assert status == 200
+        assert set(resp["ping_ms"]) == {"0", "1"}
+        assert all(rtt >= 0 for rtt in resp["ping_ms"].values())
+
+    def test_profile_bytes_equal_across_fronts(self, dual):
+        _, threaded, aio = dual
+        t_status, _, t_body = raw_request(threaded, "GET", "/profile")
+        a_status, _, a_body = raw_request(aio, "GET", "/profile")
+        assert t_status == a_status == 200
+        assert t_body == a_body
+        assert json.loads(a_body)["pool"]["http_backend"] == "threaded"
+
+
+class TestDrain:
+    def test_drain_while_in_flight_completes_outstanding(
+        self, serving_profile, images, baseline
+    ):
+        """Mirror of the threaded drain acceptance test: in-flight work
+        finishes byte-identically, new label requests get 503 with
+        Retry-After, observability survives, wait_drained unblocks."""
+        expected = baseline.predict(images).probs.tobytes()
+        with ServingPool(serving_profile, workers=1, max_batch=4,
+                         max_wait_ms=0.0) as pool:
+            with serve_http_async(pool, host="127.0.0.1", port=0) as front:
+                url = front.url
+                in_flight: dict = {}
+
+                def client() -> None:
+                    in_flight["result"] = request_json(
+                        url + "/v1/label", "POST",
+                        payload={"images": [img.tolist()
+                                            for img in images]},
+                    )
+
+                thread = threading.Thread(target=client)
+                thread.start()
+                deadline = time.monotonic() + 30
+                while (pool.health().pending_requests == 0
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
+                assert pool.health().pending_requests > 0
+
+                status, resp = request_json(url + "/admin/drain", "POST",
+                                            payload={"timeout": 120})
+                assert status == 200
+                assert resp["drained"] is True
+                assert resp["pending"] == 0
+
+                thread.join(timeout=120)
+                in_status, in_resp = in_flight["result"]
+                assert in_status == 200
+                assert probs_of(in_resp) == expected
+
+                status, headers, raw = raw_request(
+                    front, "POST", "/v1/label",
+                    json.dumps({"image": images[0].tolist()}).encode(),
+                    {"Content-Type": "application/json"})
+                assert status == 503
+                payload = json.loads(raw)
+                assert payload["error"]["code"] == "unavailable"
+                assert "draining" in payload["error"]["message"]
+                assert headers.get("Retry-After") == "5"
+                health_status, health = request_json(url + "/healthz")
+                assert health_status == 200
+                assert health["draining"] is True
+                assert request_json(url + "/profile")[0] == 200
+                assert front.wait_drained(timeout=1)
+
+    def test_drained_503_parity_with_threaded(self, serving_profile,
+                                              images):
+        """Both fronts of one drained pool refuse with the same envelope
+        and the same Retry-After header."""
+        with ServingPool(serving_profile, workers=1,
+                         max_wait_ms=0.0) as pool:
+            with serve_http(pool, host="127.0.0.1", port=0) as threaded:
+                with serve_http_async(pool, host="127.0.0.1",
+                                      port=0) as aio:
+                    threaded.drain(timeout=30)
+                    aio.drain(timeout=30)
+                    body = json.dumps(
+                        {"image": images[0].tolist()}).encode()
+                    headers = {"Content-Type": "application/json"}
+                    t_status, t_headers, t_body = raw_request(
+                        threaded, "POST", "/v1/label", body, headers)
+                    a_status, a_headers, a_body = raw_request(
+                        aio, "POST", "/v1/label", body, headers)
+                    assert t_status == a_status == 503
+                    assert json.loads(t_body) == json.loads(a_body)
+                    assert t_headers.get("Retry-After") == \
+                        a_headers.get("Retry-After") == "5"
+
+
+class TestBindErrors:
+    def test_port_collision_raises_oserror(self, dual):
+        """Bind failures surface synchronously from serve_http_async even
+        though the loop runs in a background thread."""
+        pool, threaded, _ = dual
+        host, port = threaded.address
+        with pytest.raises(OSError):
+            serve_http_async(pool, host=host, port=port)
+
+
+class TestCLIAsyncioMode:
+    def test_http_backend_asyncio_serves_and_drains(
+        self, serving_profile, images, baseline
+    ):
+        """--http-backend asyncio: announce URL, label byte-identically,
+        exit 0 on POST /admin/drain — the daemon contract is unchanged."""
+        stdout = io.StringIO()
+        result: dict = {}
+
+        def run() -> None:
+            result["code"] = cli_main([
+                "--profile", str(serving_profile), "--workers", "1",
+                "--max-wait-ms", "0", "--quiet",
+                "--http", "127.0.0.1:0", "--http-backend", "asyncio",
+            ], stdout=stdout)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        deadline = time.monotonic() + 120
+        url = None
+        while time.monotonic() < deadline:
+            line = stdout.getvalue()
+            if line.startswith("serving HTTP on "):
+                url = line.split("serving HTTP on ", 1)[1].strip()
+                break
+            time.sleep(0.05)
+        assert url, "CLI never announced its bound address"
+
+        status, resp = request_json(url + "/v1/label", "POST",
+                                    payload={"image": images[0].tolist()})
+        assert status == 200
+        assert probs_of(resp) == baseline.predict(
+            [images[0]]).probs.tobytes()
+
+        status, _ = request_json(url + "/admin/drain", "POST", payload={})
+        assert status == 200
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+
+    def test_unknown_backend_is_usage_error(self, serving_profile):
+        with pytest.raises(SystemExit) as err:
+            cli_main(["--profile", str(serving_profile),
+                      "--http", "127.0.0.1:0",
+                      "--http-backend", "twisted"])
+        assert err.value.code == 2

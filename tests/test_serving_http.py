@@ -23,9 +23,11 @@ fast-lane but runs in CI's dedicated serving-smoke job, not the matrix.
 
 from __future__ import annotations
 
+import gzip
 import http.client
 import io
 import json
+import socket
 import threading
 import time
 import urllib.error
@@ -34,28 +36,17 @@ import urllib.request
 import numpy as np
 import pytest
 
-from repro.augment.augmenter import AugmentConfig
-from repro.core.config import InspectorGadgetConfig, ServingConfig
+from repro.core.config import ServingConfig
 from repro.core.pipeline import InspectorGadget
-from repro.crowd.workflow import WorkflowConfig
 from repro.serving import ServingPool, serve_http
-from repro.serving.cli import main as cli_main
-from repro.serving.protocol import encode_image
+from repro.serving.cli import _parse_host_port, main as cli_main
+from repro.serving.protocol import encode_image, format_base_url
 
 
 @pytest.fixture(scope="module")
-def profile_path(tiny_ksdd, tmp_path_factory):
-    """A fitted tiny profile on disk, shared by every pool in this file."""
-    config = InspectorGadgetConfig(
-        workflow=WorkflowConfig(target_defective=4),
-        augment=AugmentConfig(mode="none"),
-        tune=False,
-        labeler_max_iter=40,
-        seed=0,
-    )
-    ig = InspectorGadget(config)
-    ig.fit(tiny_ksdd)
-    return ig.save(tmp_path_factory.mktemp("serving-http") / "tiny.igz")
+def profile_path(serving_profile):
+    """The session-shared fitted profile (also used by the asyncio suite)."""
+    return serving_profile
 
 
 @pytest.fixture(scope="module")
@@ -513,6 +504,223 @@ class TestCLIHttpMode:
                          "--http", "127.0.0.1:0",
                          "--max-request-bytes", "10"]) == 2
         assert "invalid serving option" in capsys.readouterr().err
+
+
+def _ipv6_loopback_available() -> bool:
+    try:
+        probe = socket.socket(socket.AF_INET6, socket.SOCK_STREAM)
+        try:
+            probe.bind(("::1", 0))
+        finally:
+            probe.close()
+        return True
+    except OSError:
+        return False
+
+
+class TestHostPortParsing:
+    """cli._parse_host_port: the one HOST:PORT parser both backends share."""
+
+    @pytest.mark.parametrize("value,expected", [
+        ("127.0.0.1:8765", ("127.0.0.1", 8765)),
+        ("localhost:0", ("localhost", 0)),
+        ("[::1]:8765", ("::1", 8765)),          # brackets stripped
+        ("[fe80::1%eth0]:80", ("fe80::1%eth0", 80)),
+        ("[::]:0", ("::", 0)),
+        ("0.0.0.0:80", ("0.0.0.0", 80)),
+    ])
+    def test_valid_forms(self, value, expected):
+        assert _parse_host_port(value) == expected
+
+    @pytest.mark.parametrize("value", [
+        "no-port",            # no colon at all
+        ":8765",              # empty host
+        "host:",              # empty port
+        "host:abc",           # non-numeric port
+        "host:-1",            # negative port (sign is non-digit)
+        "[::1]",              # bracketed host, no port
+        "[::1]8765",          # missing colon after bracket
+        "[]:8765",            # empty bracketed host
+    ])
+    def test_malformed_values_get_usage_error(self, value):
+        """Bad input raises the usage-shaped message, never a raw int()
+        traceback like "invalid literal for int()"."""
+        with pytest.raises(ValueError) as err:
+            _parse_host_port(value)
+        assert "HOST:PORT" in str(err.value)
+        assert "invalid literal" not in str(err.value)
+
+    def test_unbracketed_ipv6_suggests_brackets(self):
+        with pytest.raises(ValueError) as err:
+            _parse_host_port("::1:8765")
+        assert "[" in str(err.value) and "bracket" in str(err.value)
+
+
+class TestUrlFormatting:
+    """format_base_url / HttpFrontEnd.url: always a connectable URL."""
+
+    @pytest.mark.parametrize("host,port,expected", [
+        ("127.0.0.1", 8765, "http://127.0.0.1:8765"),
+        ("localhost", 80, "http://localhost:80"),
+        ("::1", 8765, "http://[::1]:8765"),       # v6 needs brackets
+        ("0.0.0.0", 8765, "http://127.0.0.1:8765"),  # wildcard -> loopback
+        ("::", 8765, "http://[::1]:8765"),
+    ])
+    def test_format_base_url(self, host, port, expected):
+        assert format_base_url(host, port) == expected
+
+    def test_front_url_maps_wildcard_bind_to_connectable(self, served):
+        """A wildcard-bound front end's banner URL must be one a local
+        client can open (the old f-string printed http://0.0.0.0:port)."""
+        pool, _ = served
+        with serve_http(pool, host="0.0.0.0", port=0) as wild:
+            assert wild.url.startswith("http://127.0.0.1:")
+            assert request_json(wild.url + "/healthz")[0] == 200
+
+    @pytest.mark.skipif(not _ipv6_loopback_available(),
+                        reason="no IPv6 loopback on this host")
+    def test_ipv6_end_to_end(self, served):
+        """Binding ::1 works (AF_INET6 server) and the URL is bracketed."""
+        pool, _ = served
+        with serve_http(pool, host="::1", port=0) as v6:
+            assert v6.url.startswith("http://[::1]:")
+            status, resp = request_json(v6.url + "/healthz")
+            assert status == 200
+            assert resp["ok"] is True
+
+
+class TestGzip:
+    """Request/response gzip on the threaded transport (shared helper)."""
+
+    def test_gzip_request_round_trip(self, served, images, baseline):
+        _, front = served
+        raw = json.dumps({"image": images[0].tolist()}).encode()
+        req = urllib.request.Request(
+            front.url + "/v1/label", data=gzip.compress(raw), method="POST",
+            headers={"Content-Type": "application/json",
+                     "Content-Encoding": "gzip"},
+        )
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            assert resp.status == 200
+            payload = json.loads(resp.read())
+        assert probs_of(payload) == baseline.predict(
+            [images[0]]).probs.tobytes()
+
+    def test_gzip_response_negotiated(self, served, images, baseline):
+        _, front = served
+        # A 16-image batch keeps the response body safely over the
+        # gzip_min_bytes floor (tiny bodies are deliberately sent plain).
+        body = json.dumps(
+            {"images": [img.tolist() for img in images[:16]]}).encode()
+        req = urllib.request.Request(
+            front.url + "/v1/label", data=body, method="POST",
+            headers={"Content-Type": "application/json",
+                     "Accept-Encoding": "gzip"},
+        )
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            assert resp.status == 200
+            assert resp.headers.get("Content-Encoding") == "gzip"
+            payload = json.loads(gzip.decompress(resp.read()))
+        assert probs_of(payload) == baseline.predict(
+            images[:16]).probs.tobytes()
+
+    def test_small_response_not_compressed(self, served, images):
+        """Bodies under gzip_min_bytes ship plain even when the client
+        accepts gzip — compressing ~100 bytes costs more than it saves."""
+        _, front = served
+        body = json.dumps({"image": images[0].tolist()}).encode()
+        req = urllib.request.Request(
+            front.url + "/v1/label", data=body, method="POST",
+            headers={"Content-Type": "application/json",
+                     "Accept-Encoding": "gzip"},
+        )
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            assert resp.status == 200
+            assert resp.headers.get("Content-Encoding") is None
+            json.loads(resp.read())
+
+    def test_no_gzip_without_accept_encoding(self, served, images):
+        _, front = served
+        body = json.dumps({"image": images[0].tolist()}).encode()
+        req = urllib.request.Request(
+            front.url + "/v1/label", data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            assert resp.status == 200
+            assert resp.headers.get("Content-Encoding") is None
+            json.loads(resp.read())  # plain JSON
+
+    def test_gzip_bomb_is_413_before_decompress(self, served):
+        """A small compressed body that inflates past max_request_bytes is
+        refused with the 413 identity — bounded inflate, no full bomb."""
+        pool, _ = served
+        with serve_http(pool, host="127.0.0.1", port=0,
+                        max_request_bytes=4096) as small:
+            bomb = gzip.compress(b"0" * (2 * 1024 * 1024))  # ~2 KB wire
+            assert len(bomb) < 4096
+            req = urllib.request.Request(
+                small.url + "/v1/label", data=bomb, method="POST",
+                headers={"Content-Type": "application/json",
+                         "Content-Encoding": "gzip"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=120)
+            with err.value:
+                payload = json.loads(err.value.read())
+            assert err.value.code == 413
+            assert payload["error"]["code"] == "payload_too_large"
+            assert "decompresses past" in payload["error"]["message"]
+
+    def test_unknown_content_encoding_is_415(self, served):
+        _, front = served
+        req = urllib.request.Request(
+            front.url + "/v1/label", data=b"x", method="POST",
+            headers={"Content-Type": "application/json",
+                     "Content-Encoding": "br"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=120)
+        with err.value:
+            payload = json.loads(err.value.read())
+        assert err.value.code == 415
+        assert payload["error"]["code"] == "unsupported_encoding"
+
+    def test_corrupt_gzip_is_400(self, served):
+        _, front = served
+        req = urllib.request.Request(
+            front.url + "/v1/label", data=b"not gzip at all", method="POST",
+            headers={"Content-Type": "application/json",
+                     "Content-Encoding": "gzip"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=120)
+        with err.value:
+            payload = json.loads(err.value.read())
+        assert err.value.code == 400
+        assert "not valid gzip" in payload["error"]["message"]
+
+
+class TestRetryAfter:
+    def test_drain_503_carries_retry_after(self, profile_path, images):
+        """Well-behaved clients back off on drain: the 503 must say when
+        to come back (the old response had no Retry-After at all)."""
+        with ServingPool(profile_path, workers=1, max_wait_ms=0.0) as pool:
+            with serve_http(pool, host="127.0.0.1", port=0) as front:
+                assert request_json(front.url + "/admin/drain", "POST",
+                                    payload={})[0] == 200
+                req = urllib.request.Request(
+                    front.url + "/v1/label",
+                    data=json.dumps(
+                        {"image": images[0].tolist()}).encode(),
+                    method="POST",
+                    headers={"Content-Type": "application/json"},
+                )
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    urllib.request.urlopen(req, timeout=120)
+                with err.value:
+                    assert err.value.code == 503
+                    assert err.value.headers.get("Retry-After") == "5"
 
 
 class TestHttpConfigValidation:
