@@ -14,8 +14,10 @@ closer to paper scale.
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
+import subprocess
 from pathlib import Path
 
 from repro.eval.experiments import SWEEP_CACHE_VERSION, ExperimentProfile
@@ -106,11 +108,57 @@ def default_dev_budget(name: str, profile: ExperimentProfile) -> int | None:
     return None
 
 
-def emit(name: str, text: str) -> None:
-    """Persist a rendered table and queue it for the terminal summary."""
+_GIT_SHA: str | None = None
+
+
+def _git_sha() -> str:
+    """The current commit (short), cached; ``"unknown"`` outside a checkout."""
+    global _GIT_SHA
+    if _GIT_SHA is None:
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=Path(__file__).parent, capture_output=True, text=True,
+                timeout=10, check=True,
+            ).stdout.strip()
+            _GIT_SHA = out or "unknown"
+        except Exception:
+            _GIT_SHA = "unknown"
+    return _GIT_SHA
+
+
+def record_json(workload: str, **fields) -> None:
+    """Append one machine-readable record to ``results/bench.json``.
+
+    The rendered ``results/*.txt`` tables are for humans; this is the
+    companion stream for tooling (regression tracking across commits).  The
+    file is JSON Lines — one object per line, append-only, so records from
+    different runs and different benchmarks interleave without a rewrite.
+    Every record carries ``workload``, ``backend``/``dtype`` (defaulting to
+    the reference engine configuration) and the ``git_sha`` it measured;
+    callers add throughput fields such as ``imgs_per_sec`` and ``speedup``.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {"workload": workload, "backend": "numpy", "dtype": "float64",
+              "git_sha": _git_sha()}
+    record.update(fields)
+    with open(RESULTS_DIR / "bench.json", "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def emit(name: str, text: str, record: dict | None = None) -> None:
+    """Persist a rendered table and queue it for the terminal summary.
+
+    ``record``, when given, carries the machine-readable numbers behind the
+    table and is appended via :func:`record_json`; tables whose numbers are
+    recorded elsewhere (or are figure-shaped, with no single throughput
+    number) pass no record and write only the text table.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     _REGISTRY.append((name, text))
+    if record is not None:
+        record_json(name, **record)
 
 
 def emitted() -> list[tuple[str, str]]:

@@ -14,8 +14,9 @@ import time
 import numpy as np
 import pytest
 
-from _common import emit
+from _common import emit, record_json
 from repro.features.generator import FeatureGenerator
+from repro.imaging.engine import MatchEngine
 from repro.imaging.pyramid import PyramidMatcher
 from repro.patterns import Pattern
 from repro.utils.tables import format_table
@@ -104,6 +105,8 @@ def test_engine_speedup_and_equivalence(benchmark, engine_workload):
             speedups[mode] = naive_t / batched_t
             rows.append([mode, naive_t, batched_t, speedups[mode], f"{gap:.1e}"])
             assert gap < 1e-6, f"{mode}: batched diverged from naive by {gap}"
+            record_json(f"engine-{mode}", imgs_per_sec=N_IMAGES / batched_t,
+                        speedup=speedups[mode])
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     emit("engine_speedup", format_table(
@@ -150,7 +153,90 @@ def test_pyramid_refinement_smoke(benchmark, refinement_workload):
           speedup, f"{gap:.1e}"]],
         title="Batched pyramid refinement vs per-call refinement "
               f"(refinement-bound workload, {N_PATTERNS} patterns)",
-    ))
+    ), record=dict(imgs_per_sec=24 / timings["batched"], speedup=speedup))
     assert speedup >= 2.0, (
         f"batched pyramid refinement only {speedup:.2f}x faster"
+    )
+
+
+@pytest.mark.benchmark(group="engine-speedup")
+def test_float32_speedup(benchmark, engine_workload):
+    """Opt-in float32 transforms must pay for their tolerance tier: >=1.3x
+    over the float64 reference on the smoke workload, with scores inside the
+    1e-4 float32 equivalence envelope."""
+    images, patterns = engine_workload
+    matcher = PyramidMatcher(enabled=False)
+    timings, values = {}, {}
+
+    def run():
+        timings.update({"float64": np.inf, "float32": np.inf})
+        # Interleave the lanes so load drift on a shared runner degrades
+        # both sides of the ratio, not just one.
+        for _ in range(3):
+            for dtype in ("float64", "float32"):
+                fg = FeatureGenerator(patterns, matcher, dtype=dtype)
+                t0 = time.perf_counter()
+                values[dtype] = fg.transform_images(images).values
+                timings[dtype] = min(
+                    timings[dtype], time.perf_counter() - t0
+                )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    gap = float(np.abs(values["float64"] - values["float32"]).max())
+    speedup = timings["float64"] / timings["float32"]
+    emit("engine_float32", format_table(
+        ["Dtype", "Time (s)", "Speedup", "Max |gap| vs float64"],
+        [["float64", timings["float64"], 1.0, "-"],
+         ["float32", timings["float32"], speedup, f"{gap:.1e}"]],
+        title=f"float32 transform mode vs float64 reference "
+              f"(exact mode, {N_IMAGES} images x {N_PATTERNS} patterns)",
+    ), record=dict(imgs_per_sec=N_IMAGES / timings["float32"],
+                   speedup=speedup, dtype="float32"))
+    assert gap < 1e-4, f"float32 scores diverged from float64 by {gap}"
+    assert speedup >= 1.3, f"float32 transforms only {speedup:.2f}x faster"
+
+
+@pytest.mark.benchmark(group="engine-speedup")
+def test_autotuned_plan_not_slower(benchmark, engine_workload):
+    """A tuning candidate must beat the incumbent by >2% to displace it, so
+    an autotuned plan can never lose more than noise to the untuned
+    defaults: gate at 5% on the smoke workload."""
+    images, patterns = engine_workload
+    arrays = [p.array for p in patterns]
+    shape = images[0].shape
+    timings = {}
+    decision = {}
+
+    def run():
+        engines = {
+            "untuned": MatchEngine(PyramidMatcher(enabled=False)),
+            "tuned": MatchEngine(PyramidMatcher(enabled=False), autotune=True),
+        }
+        for name, engine in engines.items():
+            engine.warm(shape, arrays)  # builds (and for the tuner, times)
+            timings[name] = np.inf
+        # Interleaved reps: the tuner usually keeps the defaults, so this
+        # often compares two identical plans — only lane-balanced timing
+        # keeps that honest ratio near 1.0 on a noisy shared runner.
+        for _ in range(4):
+            for name, engine in engines.items():
+                t0 = time.perf_counter()
+                engine.score_matrix(images, arrays)
+                timings[name] = min(timings[name], time.perf_counter() - t0)
+        decision.update(engines["tuned"].autotune_record.decision_for(shape))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = timings["tuned"] / timings["untuned"]
+    emit("engine_autotune", format_table(
+        ["Plan", "Time (s)", "Relative"],
+        [["untuned defaults", timings["untuned"], 1.0],
+         [f"autotuned ({decision['fft_policy']}, "
+          f"batch_rows={decision['batch_rows']})", timings["tuned"], ratio]],
+        title=f"Autotuned vs untuned plan (exact mode, {N_IMAGES} images "
+              f"x {N_PATTERNS} patterns)",
+    ), record=dict(imgs_per_sec=N_IMAGES / timings["tuned"], speedup=1 / ratio,
+                   fft_policy=decision["fft_policy"],
+                   batch_rows=decision["batch_rows"]))
+    assert ratio <= 1.05, (
+        f"autotuned plan is {ratio:.2f}x the untuned time (>5% slower)"
     )

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.augment.augmenter import AugmentConfig
 from repro.crowd.workflow import WorkflowConfig
+from repro.imaging.backend import WORKING_DTYPES
 from repro.imaging.pyramid import PyramidMatcher
 
 __all__ = ["InspectorGadgetConfig", "ServingConfig"]
@@ -19,9 +20,18 @@ class ServingConfig:
     """Deployment knobs for the multi-process serving pool.
 
     This is a *runtime* slice: none of these settings participate in
-    fitting, fingerprinting or the saved profile, and none of them can
-    change predictions — the pool's output is byte-identical to
-    single-process ``predict`` for any value of any knob here.
+    fitting, fingerprinting or the saved profile.  With one deliberate
+    exception, none of them can change predictions — the pool's output is
+    byte-identical to single-process ``predict`` for any value of any knob
+    here.  The exception is the pair of engine overrides below:
+    ``engine_backend`` / ``engine_dtype`` re-route the match engine's FFT
+    transforms through a different array backend or working precision *at
+    serve time* (``None``, the default, keeps whatever the profile was
+    trained with).  Overriding moves scores by FFT round-off (float32 is
+    bounded by the ~1e-4 equivalence lane), so the byte-identity guarantee
+    becomes per-(backend, dtype): the pool is still byte-identical to a
+    single-process ``predict`` running under the *same* override, for any
+    worker count or batching.
 
     ``workers`` is the number of worker processes, each loading the
     profile once.  The dispatcher coalesces waiting requests into
@@ -83,6 +93,8 @@ class ServingConfig:
     gzip_responses: bool = True
     gzip_min_bytes: int = 512
     gzip_level: int = 6
+    engine_backend: str | None = None
+    engine_dtype: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -147,6 +159,18 @@ class ServingConfig:
             raise ValueError(
                 f"gzip_level must be in [1, 9], got {self.gzip_level}"
             )
+        if self.engine_backend is not None and (
+            not isinstance(self.engine_backend, str) or not self.engine_backend
+        ):
+            raise ValueError(
+                "engine_backend must be None or a backend name, "
+                f"got {self.engine_backend!r}"
+            )
+        if self.engine_dtype is not None and self.engine_dtype not in WORKING_DTYPES:
+            raise ValueError(
+                f"engine_dtype must be None or one of {WORKING_DTYPES}, "
+                f"got {self.engine_dtype!r}"
+            )
 
 
 @dataclass
@@ -178,6 +202,17 @@ class InspectorGadgetConfig:
     recently used artifacts are evicted (a damaged-or-missing artifact is
     always just a recompute, never an error).  ``None`` keeps the store
     unbounded.
+
+    ``engine_backend`` / ``engine_dtype`` select the match engine's array
+    backend and working precision (:mod:`repro.imaging.backend`).  The
+    defaults — numpy, float64 — are the byte-identical reference; other
+    combinations trade FFT round-off (float32 stays within the ~1e-4
+    equivalence lane) for throughput, and feature-stage fingerprints
+    include them whenever they differ from the defaults.
+    ``engine_autotune`` lets ``warmup()`` time FFT padding policies and
+    row-chunk sizes per image shape and record the winners in the profile;
+    serving workers then *replay* the recorded decisions, so tuning never
+    breaks cross-worker byte-identity.
     """
 
     workflow: WorkflowConfig = field(default_factory=WorkflowConfig)
@@ -193,10 +228,23 @@ class InspectorGadgetConfig:
     cache_dir: str | None = None
     cache_max_bytes: int | None = None
     predict_batch_size: int = 64
+    engine_backend: str = "numpy"
+    engine_dtype: str = "float64"
+    engine_autotune: bool = False
 
     def __post_init__(self) -> None:
         if self.n_jobs != -1 and self.n_jobs < 1:
             raise ValueError("n_jobs must be >= 1 or -1")
+        if not isinstance(self.engine_backend, str) or not self.engine_backend:
+            raise ValueError(
+                f"engine_backend must be a backend name, "
+                f"got {self.engine_backend!r}"
+            )
+        if self.engine_dtype not in WORKING_DTYPES:
+            raise ValueError(
+                f"engine_dtype must be one of {WORKING_DTYPES}, "
+                f"got {self.engine_dtype!r}"
+            )
         if self.tune_max_layers < 1:
             raise ValueError("tune_max_layers must be >= 1")
         if self.labeler_max_iter < 1:

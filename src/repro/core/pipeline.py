@@ -38,6 +38,7 @@ from repro.core.stages import (
 from repro.crowd.workflow import CrowdResult
 from repro.datasets.base import Dataset
 from repro.features.generator import FeatureGenerator
+from repro.imaging.autotune import AutotuneRecord
 from repro.labeler.mlp import MLPLabeler
 from repro.labeler.tuning import TuningResult
 from repro.labeler.weak_labels import WeakLabels
@@ -186,7 +187,10 @@ class InspectorGadget:
         # Rebuilt rather than cached: construction is cheap, deterministic
         # and RNG-free, and the engine holds no fitted state of its own.
         self.feature_generator = FeatureGenerator(
-            patterns, self.config.matcher, n_jobs=self.config.n_jobs
+            patterns, self.config.matcher, n_jobs=self.config.n_jobs,
+            backend=self.config.engine_backend,
+            dtype=self.config.engine_dtype,
+            autotune=self.config.engine_autotune,
         )
         self.last_report = FitReport(
             dev_size=len(crowd.dev),
@@ -247,11 +251,57 @@ class InspectorGadget:
         what makes fanning requests out across threads or processes safe.
         Plans for shapes not warmed here are still built (and cached) on
         first use.  Returns the number of distinct shapes now cached.
+
+        With ``config.engine_autotune`` set, this is also where plan-time
+        autotuning happens: each shape's FFT-policy and row-chunk candidates
+        are timed once and the winning decision recorded on the engine's
+        :class:`repro.imaging.autotune.AutotuneRecord`, which ``save()``
+        persists so serving workers replay it instead of re-timing.
         """
         self._require_fitted()
         for shape in image_shapes:
             self.feature_generator.warm(shape)
         return self.feature_generator.engine.cached_plan_count()
+
+    def engine_info(self) -> dict:
+        """The match engine's active backend, working dtype and autotune
+        decisions — JSON-safe, for profile summaries and ``GET /profile``."""
+        self._require_fitted()
+        engine = self.feature_generator.engine
+        record = engine.autotune_record
+        return {
+            "backend": engine.backend.name,
+            "dtype": engine.dtype,
+            "autotune": record.to_payload() if record else None,
+        }
+
+    def reconfigure_engine(self, backend: str | None = None,
+                           dtype: str | None = None) -> None:
+        """Rebuild the match engine under a different backend/working dtype.
+
+        The serve-time override behind ``ServingConfig.engine_backend`` /
+        ``engine_dtype``: patterns, matcher, ``n_jobs`` and the autotune
+        record all carry over, only the transform route changes.  ``None``
+        keeps the current value.  Scores move by FFT round-off only (the
+        per-dtype tolerance lanes); determinism still holds within the new
+        (backend, dtype) combination.
+        """
+        self._require_fitted()
+        if backend is None and dtype is None:
+            return
+        fg = self.feature_generator
+        engine = fg.engine
+        self.feature_generator = FeatureGenerator(
+            fg.patterns,
+            fg.matcher,
+            strategy=fg.strategy,
+            n_jobs=engine.n_jobs,
+            cache_plans=engine.cache_plans,
+            backend=backend if backend is not None else engine.backend.name,
+            dtype=dtype if dtype is not None else engine.dtype,
+            autotune=False,
+            autotune_record=engine.autotune_record,
+        )
 
     # -- persistence ---------------------------------------------------------
 
@@ -279,6 +329,13 @@ class InspectorGadget:
             "tuning": None if self.tuning is None else self.tuning.to_payload(),
             "report": None if self.last_report is None
                       else asdict(self.last_report),
+            # Plan-time autotune decisions (None when never tuned): workers
+            # replay these after load() instead of re-timing, so every
+            # process of a deployment executes one identical plan.
+            "autotune": (
+                self.feature_generator.engine.autotune_record.to_payload()
+                if self.feature_generator.engine.autotune_record else None
+            ),
         }
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
@@ -343,7 +400,17 @@ class InspectorGadget:
                 "wrote it"
             )
         try:
-            ig = cls(replace(payload["config"], cache_dir=None))
+            config = payload["config"]
+            # Profiles saved before the engine-backend fields existed
+            # restore a config __dict__ without them; heal with the
+            # defaults (which reproduce the old behavior exactly) so
+            # replace() below sees every field.
+            for name, default in (("engine_backend", "numpy"),
+                                  ("engine_dtype", "float64"),
+                                  ("engine_autotune", False)):
+                if not hasattr(config, name):
+                    setattr(config, name, default)
+            ig = cls(replace(config, cache_dir=None))
             ig._task = payload["task"]
             ig._n_classes = payload["n_classes"]
             patterns = [
@@ -352,8 +419,15 @@ class InspectorGadget:
                         source_image=entry["source_image"])
                 for entry in payload["patterns"]
             ]
+            # Decisions replay (autotune=False): a loaded profile never
+            # re-times, so all workers loading it share one plan.
             ig.feature_generator = FeatureGenerator(
-                patterns, payload["matcher"], n_jobs=ig.config.n_jobs
+                patterns, payload["matcher"], n_jobs=ig.config.n_jobs,
+                backend=ig.config.engine_backend,
+                dtype=ig.config.engine_dtype,
+                autotune_record=AutotuneRecord.from_payload(
+                    payload.get("autotune")
+                ),
             )
             ig.labeler = MLPLabeler.from_payload(payload["labeler"])
             if payload["tuning"] is not None:
@@ -377,12 +451,23 @@ class InspectorGadget:
         """Content fingerprint of the serving state (patterns + labeler).
 
         Two pipelines with equal fingerprints produce byte-identical
-        predictions; useful for cache keys and deployment audits.
+        predictions; useful for cache keys and deployment audits.  The
+        engine backend, working dtype and autotune decisions enter the
+        fingerprint only when they differ from the defaults, so
+        fingerprints of historical profiles are unchanged — but any
+        combination that can move scores (a different dtype, a tuned FFT
+        policy) names itself.
         """
         self._require_fitted()
-        return fingerprint((
+        key = [
             "serving",
             self.feature_generator.matcher,
             [p.array for p in self.feature_generator.patterns],
             self.labeler.to_payload(),
-        ))
+        ]
+        info = self.engine_info()
+        if (info["backend"], info["dtype"]) != ("numpy", "float64") \
+                or info["autotune"]:
+            key.append(("engine", info["backend"], info["dtype"],
+                        info["autotune"]))
+        return fingerprint(tuple(key))

@@ -1,0 +1,133 @@
+"""Plan-time autotuning for the match engine.
+
+The engine's FFT padding size is a pure performance knob: any ``fshape``
+that is at least ``(H + h_max - 1, W + w_max - 1)`` element-wise yields the
+same linear convolution, so the *policy* that picks it — scipy's 5-smooth
+``next_fast_len`` (the historical default), the next power of two, or the
+exact minimal length — only moves wall-clock time and FFT round-off.  Which
+policy wins depends on the host FFT library, the working dtype (float32
+pocketfft has different sweet spots than float64) and the image size, so it
+is measured, not guessed: during :meth:`MatchEngine.warm` the engine times a
+small probe kernel at each candidate shape and a few row-chunk sizes, and
+records the winning ``(fft_policy, batch_rows)`` per image shape here.
+
+Decisions, not measurements, are what travel.  Tuning runs once on the
+trainer (``warm()`` with ``autotune=True``); the winning choice per image
+shape is stored in an :class:`AutotuneRecord`, the record rides inside the
+serving profile, and every pool worker *replays* it instead of re-timing —
+so all workers of a deployment share one plan byte-for-byte even though
+wall-clock timings differ per process.  A shape with no recorded decision
+falls back to the defaults (``next_fast`` policy, un-chunked batches),
+which reproduce the untuned engine exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FFT_POLICIES",
+    "AutotuneRecord",
+    "pad_length",
+    "probe_image",
+    "time_fft_shape",
+]
+
+# Candidate padding policies, in preference order: ties (and near-ties) keep
+# the earlier entry, so "next_fast" — today's untuned behavior — wins unless
+# a candidate is measurably faster.
+FFT_POLICIES = ("next_fast", "pow2", "exact")
+
+
+def pad_length(policy: str, n: int, backend) -> int:
+    """FFT length for a minimal linear-convolution length ``n`` under a policy."""
+    n = int(n)
+    if policy == "next_fast":
+        return backend.next_fast_len(n)
+    if policy == "pow2":
+        return 1 << max(0, n - 1).bit_length()
+    if policy == "exact":
+        return n
+    raise ValueError(
+        f"unknown FFT policy {policy!r}; expected one of {FFT_POLICIES}"
+    )
+
+
+def probe_image(shape: tuple[int, int], seed: int = 0) -> np.ndarray:
+    """A deterministic synthetic image for timing probes.
+
+    Arithmetic on index grids, not a RNG: probes must never advance any
+    random state the pipeline's reproducibility contract tracks.
+    """
+    h, w = (int(side) for side in shape)
+    yy, xx = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+    return ((yy * 31 + xx * 17 + seed * 101) % 251) / 250.0
+
+
+def time_fft_shape(
+    backend,
+    dtype: str,
+    image_shape: tuple[int, int],
+    fshape: tuple[int, int],
+    n_inverse: int = 4,
+    repeats: int = 3,
+) -> float:
+    """Best-of-``repeats`` seconds for the engine's per-image FFT pattern.
+
+    One forward ``rfft2`` of an image-sized probe plus ``n_inverse`` inverse
+    transforms — the same transform mix ``_iter_responses`` pays per image —
+    at the candidate ``fshape``.  Best-of-N suppresses scheduler noise.
+    """
+    image = backend.asarray(probe_image(image_shape), dtype)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        spectrum = backend.rfft2(image, s=fshape)
+        for _ in range(n_inverse):
+            backend.to_numpy(backend.irfft2(spectrum * spectrum, s=fshape))
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@dataclass
+class AutotuneRecord:
+    """Per-image-shape tuning decisions, serializable into a profile.
+
+    ``decisions`` maps ``(height, width)`` to a JSON-safe dict::
+
+        {"fft_policy": "pow2",          # one of FFT_POLICIES
+         "batch_rows": 16,              # row-chunk size, or None (un-chunked)
+         "timings_ms": {...}}           # the measurements behind the choice
+
+    ``timings_ms`` is provenance only — replaying a record never re-times.
+    """
+
+    decisions: dict[tuple[int, int], dict] = field(default_factory=dict)
+
+    def decision_for(self, shape) -> dict | None:
+        return self.decisions.get(tuple(int(side) for side in shape))
+
+    def record(self, shape, decision: dict) -> None:
+        self.decisions[tuple(int(side) for side in shape)] = dict(decision)
+
+    def __bool__(self) -> bool:
+        return bool(self.decisions)
+
+    def to_payload(self) -> list:
+        """JSON/pickle-safe form: sorted ``[[h, w], decision]`` pairs."""
+        return [
+            [list(shape), dict(decision)]
+            for shape, decision in sorted(self.decisions.items())
+        ]
+
+    @classmethod
+    def from_payload(cls, payload) -> "AutotuneRecord":
+        """Inverse of :meth:`to_payload`; ``None``/empty payloads give an
+        empty record (old profiles saved before autotuning existed)."""
+        record = cls()
+        for shape, decision in payload or []:
+            record.record(tuple(shape), decision)
+        return record

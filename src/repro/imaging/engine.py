@@ -37,6 +37,22 @@ computes the same similarity matrix with the redundant work hoisted out:
   shared state is computed *before* dispatch and read-only afterwards, and
   every worker writes disjoint rows of a preallocated matrix, so output is
   deterministic and byte-identical to ``n_jobs=1``.
+* **Pluggable transforms, tunable plans.**  The FFTs (and only the FFTs)
+  run through an :class:`repro.imaging.backend.ArrayBackend` at an opt-in
+  working ``dtype`` — numpy/float64 is the byte-identical reference;
+  float32 halves transform bandwidth; torch/cupy use the host's array
+  library when present.  Window statistics, kernel energies and the
+  flat-window threshold always stay float64 on the host (see
+  :mod:`repro.imaging.backend`), and the output matrix is always float64
+  numpy.  ``autotune=True`` additionally times candidate FFT padding
+  policies and row-chunk sizes during :meth:`MatchEngine.warm` and records
+  the winner per image shape in an
+  :class:`repro.imaging.autotune.AutotuneRecord`; a record passed back in
+  (the serving path) is *replayed*, never re-timed, so every worker of a
+  deployment executes one identical plan.  Determinism is therefore
+  per-(backend, dtype): byte-identical across ``n_jobs`` and workers within
+  a combination, tolerance-tiered (float64 ~1e-6, float32 ~1e-4 vs the
+  naive reference) across them.
 
 Caching invariants: cached spectra/tables are keyed by value-derived shapes
 only and are never mutated after creation; by default the engine holds no
@@ -75,9 +91,11 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
-from scipy import fft as sp_fft
 
-from repro.imaging.ncc import _finalize_response, match_windows
+from repro.imaging.autotune import AutotuneRecord, pad_length, probe_image, time_fft_shape
+from repro.imaging.autotune import FFT_POLICIES
+from repro.imaging.backend import ArrayBackend, check_dtype, get_backend
+from repro.imaging.ncc import match_windows
 from repro.imaging.ops import as_image, downsample, fit_pattern_to_image
 from repro.imaging.pyramid import (
     PyramidMatcher,
@@ -89,18 +107,10 @@ from repro.imaging.pyramid import (
 
 __all__ = ["MatchEngine"]
 
-
-def _integral_table(values: np.ndarray) -> np.ndarray:
-    """Zero-padded 2-D cumulative sum: ``table[y, x] == values[:y, :x].sum()``."""
-    table = np.zeros((values.shape[0] + 1, values.shape[1] + 1))
-    np.cumsum(values, axis=0, out=table[1:, 1:])
-    np.cumsum(table[1:, 1:], axis=1, out=table[1:, 1:])
-    return table
-
-
-def _window_sums(table: np.ndarray, h: int, w: int) -> np.ndarray:
-    """All ``h x w`` sliding-window sums from an integral table."""
-    return table[h:, w:] - table[:-h, w:] - table[h:, :-w] + table[:-h, :-w]
+# Row-chunk sizes the autotuner times (None = one un-chunked slice, the
+# untuned behavior) and how many synthetic images each candidate scores.
+_BATCH_CANDIDATES = (None, 4, 16)
+_BATCH_PROBES = 8
 
 
 @dataclass
@@ -110,15 +120,23 @@ class _PatternSet:
     ``arrays`` are the patterns after :func:`fit_pattern_to_image`, so every
     entry fits the image.  ``spectra`` hold ``rfft2`` of the flipped (and,
     for ``zero_mean``, mean-centred) kernels at the shared padded FFT shape
-    ``fshape``; ``energies`` are the matching kernel energies.  Everything is
-    computed once and treated as read-only afterwards.
+    ``fshape`` — backend-native arrays at the working ``dtype``; ``energies``
+    are the matching kernel energies, always float64 (statistics never
+    follow the working dtype).  ``fshape`` is chosen by ``fft_policy`` (see
+    :mod:`repro.imaging.autotune`); any policy is equivalence-preserving
+    because every candidate covers the linear-convolution length.
+    Everything is computed once and treated as read-only afterwards.
     """
 
     arrays: list[np.ndarray]
     fshape: tuple[int, int]
-    spectra: list[np.ndarray]
+    spectra: list
+    spectra_block: object
     energies: list[float]
     zero_mean: bool
+    backend: ArrayBackend
+    dtype: str
+    response_chunk: int
 
     @classmethod
     def build(
@@ -126,24 +144,42 @@ class _PatternSet:
         patterns: list[np.ndarray],
         image_shape: tuple[int, int],
         zero_mean: bool,
+        backend: ArrayBackend | None = None,
+        dtype: str = "float64",
+        fft_policy: str = "next_fast",
     ) -> _PatternSet:
+        backend = backend or get_backend("numpy")
         ih, iw = image_shape
         arrays = [fit_pattern_to_image(p, image_shape) for p in patterns]
         h_max = max(a.shape[0] for a in arrays)
         w_max = max(a.shape[1] for a in arrays)
         fshape = (
-            sp_fft.next_fast_len(ih + h_max - 1, True),
-            sp_fft.next_fast_len(iw + w_max - 1, True),
+            pad_length(fft_policy, ih + h_max - 1, backend),
+            pad_length(fft_policy, iw + w_max - 1, backend),
         )
         kernels = [a - a.mean() if zero_mean else a for a in arrays]
-        spectra = [sp_fft.rfft2(k[::-1, ::-1], s=fshape) for k in kernels]
+        spectra = [
+            backend.rfft2(backend.flip2(backend.asarray(k, dtype)), s=fshape)
+            for k in kernels
+        ]
         energies = [float(np.sum(k * k)) for k in kernels]
+        # All spectra share fshape, so they stack; the stacked block lets
+        # _iter_responses inverse-transform ``response_chunk`` patterns per
+        # call (chunks slice the block without copying).
+        chunk = max(1, int(backend.response_chunk(dtype)))
+        block = (
+            backend.stack(spectra) if chunk > 1 and len(spectra) > 1 else None
+        )
         return cls(
             arrays=arrays,
             fshape=fshape,
             spectra=spectra,
+            spectra_block=block,
             energies=energies,
             zero_mean=zero_mean,
+            backend=backend,
+            dtype=dtype,
+            response_chunk=chunk,
         )
 
 
@@ -152,29 +188,56 @@ def _iter_responses(image: np.ndarray, pset: _PatternSet):
 
     The image spectrum and integral tables are computed once; window
     statistics are cached per pattern *shape*, so shape-sharing augmented
-    patterns pay for them only once.
+    patterns pay for them only once.  Transforms run on the pattern set's
+    backend at its working dtype, inverse-transforming
+    ``pset.response_chunk`` patterns per call (an execution knob — batched
+    ``irfft2`` computes each 2-D slice exactly as a single-slice call
+    would); the integral tables and denominators are float64 numpy
+    regardless, and each yielded response is float64 numpy.
     """
     ih, iw = image.shape
-    image_spectrum = sp_fft.rfft2(image, s=pset.fshape)
-    energy_table = _integral_table(image * image)
-    sum_table = _integral_table(image) if pset.zero_mean else None
+    backend = pset.backend
+    image_spectrum = backend.rfft2(
+        backend.asarray(image, pset.dtype), s=pset.fshape
+    )
+    energy_table = backend.integral_table(image * image)
+    sum_table = backend.integral_table(image) if pset.zero_mean else None
     denom_maps: dict[tuple[int, int], np.ndarray] = {}
-    for arr, spectrum, energy in zip(pset.arrays, pset.spectra, pset.energies):
-        h, w = arr.shape
-        full = sp_fft.irfft2(image_spectrum * spectrum, s=pset.fshape)
-        numerator = full[h - 1 : ih, w - 1 : iw]
+    def denom_map(h: int, w: int) -> np.ndarray:
         if (h, w) not in denom_maps:
-            window_energy = _window_sums(energy_table, h, w)
+            window_energy = backend.window_sums(energy_table, h, w)
             np.clip(window_energy, 0.0, None, out=window_energy)
             if pset.zero_mean:
-                window_sum = _window_sums(sum_table, h, w)
+                window_sum = backend.window_sums(sum_table, h, w)
                 window_var = window_energy - window_sum**2 / (h * w)
                 np.clip(window_var, 0.0, None, out=window_var)
                 denom_maps[h, w] = window_var
             else:
                 denom_maps[h, w] = window_energy
-        denom = np.sqrt(energy * denom_maps[h, w])
-        yield _finalize_response(numerator, denom)
+        return denom_maps[h, w]
+
+    n, chunk = len(pset.arrays), pset.response_chunk
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        if pset.spectra_block is None or stop - start == 1:
+            # Reference path (chunk == 1): exactly the pre-seam sequence of
+            # per-pattern transforms and finalizations.
+            fulls = [
+                backend.to_numpy(
+                    backend.irfft2(image_spectrum * spec, s=pset.fshape)
+                )
+                for spec in pset.spectra[start:stop]
+            ]
+        else:
+            fulls = backend.to_numpy(backend.irfft2(
+                image_spectrum * pset.spectra_block[start:stop],
+                s=pset.fshape,
+            ))
+        for k in range(start, stop):
+            h, w = pset.arrays[k].shape
+            numerator = fulls[k - start][h - 1 : ih, w - 1 : iw]
+            denom = np.sqrt(pset.energies[k] * denom_map(h, w))
+            yield backend.finalize_response(numerator, denom)
 
 
 @dataclass
@@ -188,11 +251,14 @@ class _RefineSpec:
     ``window + h - 1`` per axis).  The flipped (and, for ``zero_mean``,
     mean-centred) kernel spectrum at that shape and the kernel energy are
     computed once at plan time — serving workers pin them at warmup — so the
-    execute phase pays only the window transforms.
+    execute phase pays only the window transforms.  ``spectrum`` is
+    backend-native at the engine's working dtype (``energy`` stays float64);
+    refinement fshapes are small, so they always use the ``next_fast``
+    policy rather than the autotuned one.
     """
 
     fshape: tuple[int, int]
-    spectrum: np.ndarray
+    spectrum: object
     energy: float
 
 
@@ -221,24 +287,28 @@ class _ShapePlan:
     coarse_refine: list[_RefineSpec] = field(default_factory=list)
 
 
-def _freeze_plan(plan: _ShapePlan) -> None:
+def _freeze_plan(plan: _ShapePlan, backend: ArrayBackend) -> None:
     """Make every array a plan holds immutable.
 
     Cached plans are shared across all future calls (and, in serving, were
     built once at warmup for the lifetime of a worker); freezing turns any
     accidental in-place mutation of that shared state into an immediate
-    ``ValueError`` instead of silently skewed scores.
+    ``ValueError`` instead of silently skewed scores.  Pattern arrays are
+    always numpy; spectra are backend-native, so their freezing is
+    best-effort via :meth:`ArrayBackend.freeze`.
     """
     for pset in (plan.exact_set, plan.coarse_set):
         if pset is not None:
             for arr in pset.arrays:
                 arr.flags.writeable = False
             for spectrum in pset.spectra:
-                spectrum.flags.writeable = False
+                backend.freeze(spectrum)
+            if pset.spectra_block is not None:
+                backend.freeze(pset.spectra_block)
     for arr in plan.coarse_fine_arrays:
         arr.flags.writeable = False
     for spec in plan.coarse_refine:
-        spec.spectrum.flags.writeable = False
+        backend.freeze(spec.spectrum)
 
 
 class MatchEngine:
@@ -253,10 +323,19 @@ class MatchEngine:
 
     ``n_jobs`` parallelises over images with threads (``-1`` = one per CPU);
     results are deterministic and independent of ``n_jobs``.
+
+    ``backend``/``dtype`` select the transform backend and working
+    precision (see :mod:`repro.imaging.backend`); the default
+    ``("numpy", "float64")`` is byte-identical to the pre-backend engine.
+    ``autotune=True`` lets :meth:`warm` time FFT padding policies and
+    row-chunk sizes for each warmed shape; ``autotune_record`` passes in
+    decisions to *replay* (the serving path — workers never re-time).
     """
 
     def __init__(self, matcher: PyramidMatcher | None = None, n_jobs: int = 1,
-                 cache_plans: bool = False):
+                 cache_plans: bool = False, *, backend: str | ArrayBackend = "numpy",
+                 dtype: str = "float64", autotune: bool = False,
+                 autotune_record: AutotuneRecord | None = None):
         self.matcher = matcher or PyramidMatcher()
         # The same validator pyramid_match applies per call, surfaced at
         # construction so the batched and naive paths reject the same setups
@@ -268,6 +347,12 @@ class MatchEngine:
             raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
         self.n_jobs = int(n_jobs)
         self.cache_plans = bool(cache_plans)
+        self.backend = get_backend(backend)
+        self.dtype = check_dtype(dtype)
+        self.autotune = bool(autotune)
+        self.autotune_record = (
+            autotune_record if autotune_record is not None else AutotuneRecord()
+        )
         # shape -> (pattern arrays the plan was built from, frozen plan),
         # LRU-ordered.  Bounded: a long-running serving worker fed varied
         # image shapes must not pin a frozen plan (pattern spectra + window
@@ -293,7 +378,10 @@ class MatchEngine:
         working memory bounded by the slice (plus the output matrix).  The
         per-shape matching plan is built once and reused across all slices,
         and every row is computed independently, so the output is
-        byte-identical for any ``batch_size``.
+        byte-identical for any ``batch_size``.  When ``batch_size`` is None
+        and the autotune record holds a ``batch_rows`` decision for a
+        shape, that tuned chunk size is used — a pure performance choice,
+        invisible in the output.
         """
         if not images:
             raise ValueError("no images to match")
@@ -316,7 +404,12 @@ class MatchEngine:
 
         for shape, indices in by_shape.items():
             plan = self._plan_for(shape, patterns)
-            step = len(indices) if batch_size is None else batch_size
+            if batch_size is None:
+                decision = self.autotune_record.decision_for(shape)
+                tuned = decision.get("batch_rows") if decision else None
+                step = int(tuned) if tuned else len(indices)
+            else:
+                step = batch_size
             workers = min(self.n_jobs, min(step, len(indices)))
             with ThreadPoolExecutor(max_workers=workers) if workers > 1 \
                     else nullcontext() as pool:
@@ -355,10 +448,17 @@ class MatchEngine:
         warmed shape (only shapes seen ad hoc at runtime compete for LRU
         slots).
 
+        With ``autotune=True`` and no recorded decision for this shape,
+        warming first times the FFT-policy and row-chunk candidates and
+        records the winner in :attr:`autotune_record` — the plan is then
+        built under that decision.  A shape that already has a decision
+        (a replayed serving record) is never re-timed.
+
         Returns a summary of what was pinned — ``exact``/``coarse`` column
         counts plus the per-pattern ``refine_buffers`` (pinned refinement
-        kernel spectra) — so callers can log what a warmed worker actually
-        holds.
+        kernel spectra) — and how: the active ``backend`` name, working
+        ``dtype``, and the ``autotune`` decision for this shape (None when
+        untuned) — so callers can log what a warmed worker actually holds.
         """
         shape = tuple(int(side) for side in image_shape)
         if len(shape) != 2 or shape[0] < 1 or shape[1] < 1:
@@ -370,16 +470,97 @@ class MatchEngine:
         if shape not in self._plan_cache:
             self.plan_cache_size = max(self.plan_cache_size,
                                        len(self._plan_cache) + 1)
-        plan = self._plan_for(shape, [as_image(p) for p in patterns])
+        converted = [as_image(p) for p in patterns]
+        if self.autotune and self.autotune_record.decision_for(shape) is None:
+            self._autotune_shape(shape, converted)
+        plan = self._plan_for(shape, converted)
         return {
             "exact": len(plan.exact_indices),
             "coarse": len(plan.coarse_indices),
             "refine_buffers": len(plan.coarse_refine),
+            "backend": self.backend.name,
+            "dtype": self.dtype,
+            "autotune": self.autotune_record.decision_for(shape),
         }
 
     def cached_plan_count(self) -> int:
         """How many distinct image shapes currently have a cached plan."""
         return len(self._plan_cache)
+
+    # -- autotuning ----------------------------------------------------------
+
+    def _fft_policy(self, image_shape: tuple[int, int]) -> str:
+        """The padding policy for a shape: its recorded decision, else the
+        untuned default."""
+        decision = self.autotune_record.decision_for(image_shape)
+        return decision["fft_policy"] if decision else "next_fast"
+
+    def _autotune_shape(
+        self, shape: tuple[int, int], patterns: list[np.ndarray]
+    ) -> None:
+        """Time the candidates for ``shape`` and record the winning decision.
+
+        Two measurements, both on deterministic synthetic probes (never the
+        caller's data, never a RNG): the per-image FFT mix at each policy's
+        candidate padding, then — with the winning policy's plan built —
+        full ``score_matrix`` passes at each row-chunk size.  A candidate
+        must beat the incumbent by >2% to displace it, so the untuned
+        defaults win all near-ties and tuning can only drift away from them
+        for a measured reason.
+        """
+        import time as _time
+
+        fitted = [fit_pattern_to_image(p, shape) for p in patterns]
+        h_max = max(a.shape[0] for a in fitted)
+        w_max = max(a.shape[1] for a in fitted)
+        fft_timings: dict[str, float] = {}
+        seen: dict[tuple[int, int], str] = {}
+        best_policy, best_time = "next_fast", float("inf")
+        for policy in FFT_POLICIES:
+            fshape = (
+                pad_length(policy, shape[0] + h_max - 1, self.backend),
+                pad_length(policy, shape[1] + w_max - 1, self.backend),
+            )
+            if fshape in seen:
+                # Same padded shape as an earlier policy: same cost by
+                # construction, and the earlier (preferred) name keeps it.
+                fft_timings[policy] = fft_timings[seen[fshape]]
+                continue
+            seen[fshape] = policy
+            fft_timings[policy] = time_fft_shape(
+                self.backend, self.dtype, shape, fshape
+            )
+            if fft_timings[policy] < best_time * 0.98:
+                best_policy, best_time = policy, fft_timings[policy]
+        decision = {
+            "fft_policy": best_policy,
+            "batch_rows": None,
+            "timings_ms": {
+                "fft": {p: round(t * 1e3, 4) for p, t in fft_timings.items()}
+            },
+        }
+        self.autotune_record.record(shape, decision)
+
+        # Row-chunk sizes: measured through the real scoring path with the
+        # tuned plan (built once here, reused by every candidate pass).
+        probes = [probe_image(shape, seed=i) for i in range(_BATCH_PROBES)]
+        batch_timings: dict[str, float] = {}
+        best_rows, best_bt = None, float("inf")
+        for rows in _BATCH_CANDIDATES:
+            step = len(probes) if rows is None else int(rows)
+            elapsed = float("inf")
+            for _ in range(2):
+                start = _time.perf_counter()
+                self.score_matrix(probes, patterns, batch_size=step)
+                elapsed = min(elapsed, _time.perf_counter() - start)
+            batch_timings["none" if rows is None else str(rows)] = round(
+                elapsed * 1e3, 4
+            )
+            if elapsed < best_bt * 0.98:
+                best_rows, best_bt = rows, elapsed
+        decision["batch_rows"] = best_rows
+        decision["timings_ms"]["batch"] = batch_timings
+        self.autotune_record.record(shape, decision)
 
     # -- planning ------------------------------------------------------------
 
@@ -401,7 +582,7 @@ class MatchEngine:
                 self._plan_cache.move_to_end(image_shape)
                 return plan
         plan = self._plan(image_shape, patterns)
-        _freeze_plan(plan)
+        _freeze_plan(plan, self.backend)
         for arr in patterns:
             arr.flags.writeable = False
         self._plan_cache[image_shape] = (list(patterns), plan)
@@ -425,11 +606,15 @@ class MatchEngine:
         else:
             plan.exact_indices = list(range(len(fitted)))
 
+        fft_policy = self._fft_policy(image_shape)
         if plan.exact_indices:
             plan.exact_set = _PatternSet.build(
                 [fitted[j] for j in plan.exact_indices],
                 image_shape,
                 matcher.zero_mean,
+                backend=self.backend,
+                dtype=self.dtype,
+                fft_policy=fft_policy,
             )
         if plan.coarse_indices:
             factor = matcher.factor
@@ -438,7 +623,10 @@ class MatchEngine:
                 downsample(fitted[j], factor) for j in plan.coarse_indices
             ]
             plan.coarse_set = _PatternSet.build(
-                coarse_patterns, coarse_shape, matcher.zero_mean
+                coarse_patterns, coarse_shape, matcher.zero_mean,
+                backend=self.backend,
+                dtype=self.dtype,
+                fft_policy=fft_policy,
             )
             plan.coarse_fine_arrays = [fitted[j] for j in plan.coarse_indices]
             plan.coarse_min_dist = [
@@ -462,12 +650,15 @@ class MatchEngine:
         # an interior peak, clipped to the image for small images.
         win_h = min(h + 2 * margin, image_shape[0])
         win_w = min(w + 2 * margin, image_shape[1])
+        backend = self.backend
         fshape = (
-            sp_fft.next_fast_len(win_h + h - 1, True),
-            sp_fft.next_fast_len(win_w + w - 1, True),
+            backend.next_fast_len(win_h + h - 1),
+            backend.next_fast_len(win_w + w - 1),
         )
         kernel = pattern - pattern.mean() if self.matcher.zero_mean else pattern
-        spectrum = sp_fft.rfft2(kernel[::-1, ::-1], s=fshape)
+        spectrum = backend.rfft2(
+            backend.flip2(backend.asarray(kernel, self.dtype)), s=fshape
+        )
         return _RefineSpec(
             fshape=fshape,
             spectrum=spectrum,
@@ -542,12 +733,14 @@ class MatchEngine:
                 np.stack([plan.coarse_fine_arrays[slot]
                           for slot, _, _ in entries]),
                 zero_mean=matcher.zero_mean,
-                spectra=np.stack([spec.spectrum for spec in specs]),
+                spectra=self.backend.stack([spec.spectrum for spec in specs]),
                 # One fshape per pattern shape (sized for the largest window
                 # the shape can produce), shared by every bucket of that
                 # shape, so clipped and unclipped windows batch identically.
                 fshape=specs[0].fshape,
                 energies=np.array([spec.energy for spec in specs]),
+                backend=self.backend,
+                dtype=self.dtype,
             )
             np.maximum.at(best, [slot for slot, _, _ in entries], scores)
         for slot, j in enumerate(plan.coarse_indices):
@@ -565,6 +758,9 @@ class MatchEngine:
             fallback_set = _PatternSet.build(
                 [plan.coarse_fine_arrays[slot] for slot in fallback_slots],
                 image.shape, matcher.zero_mean,
+                backend=self.backend,
+                dtype=self.dtype,
+                fft_policy=self._fft_policy(image.shape),
             )
             for slot, response in zip(
                 fallback_slots, _iter_responses(image, fallback_set)

@@ -110,21 +110,36 @@ def match_pattern(
     return MatchResult(score=float(response[y, x]), y=int(y), x=int(x))
 
 
-def _batched_window_sums(values: np.ndarray, h: int, w: int) -> np.ndarray:
-    """All ``h x w`` sliding-window sums of every slice in a ``(K, H, W)`` stack.
+def _integral_table(values: np.ndarray) -> np.ndarray:
+    """Zero-padded 2-D cumulative sum over the trailing two axes.
 
-    Batched integral-image tables: two cumulative sums and four gathers per
-    stack, no FFT — the same algorithm the match engine uses for full-image
-    window statistics, vectorized over the leading axis.
+    For a 2-D input, ``table[y, x] == values[:y, :x].sum()``; any leading
+    axes (a ``(K, H, W)`` window stack) batch element-wise.  This is *the*
+    integral-image helper: the match engine's full-image window statistics
+    and :func:`match_windows`'s batched stacks both build on it, and window
+    statistics are always accumulated in float64 regardless of the engine's
+    working dtype — cumulative sums lose precision linearly in length, and
+    the ``_ENERGY_EPS`` flat-window threshold sits far below float32
+    resolution of typical window energies.
     """
-    k, height, width = values.shape
-    table = np.zeros((k, height + 1, width + 1))
-    np.cumsum(values, axis=1, out=table[:, 1:, 1:])
-    np.cumsum(table[:, 1:, 1:], axis=2, out=table[:, 1:, 1:])
+    shape = values.shape[:-2] + (values.shape[-2] + 1, values.shape[-1] + 1)
+    table = np.zeros(shape)
+    np.cumsum(values, axis=-2, out=table[..., 1:, 1:])
+    np.cumsum(table[..., 1:, 1:], axis=-1, out=table[..., 1:, 1:])
+    return table
+
+
+def _window_sums(table: np.ndarray, h: int, w: int) -> np.ndarray:
+    """All ``h x w`` sliding-window sums from an integral table (four gathers)."""
     return (
-        table[:, h:, w:] - table[:, :-h, w:]
-        - table[:, h:, :-w] + table[:, :-h, :-w]
+        table[..., h:, w:] - table[..., :-h, w:]
+        - table[..., h:, :-w] + table[..., :-h, :-w]
     )
+
+
+def _batched_window_sums(values: np.ndarray, h: int, w: int) -> np.ndarray:
+    """All ``h x w`` sliding-window sums of every slice in a ``(K, H, W)`` stack."""
+    return _window_sums(_integral_table(values), h, w)
 
 
 def match_windows(
@@ -135,6 +150,8 @@ def match_windows(
     spectra: np.ndarray | None = None,
     fshape: tuple[int, int] | None = None,
     energies: np.ndarray | float | None = None,
+    backend=None,
+    dtype: str = "float64",
 ) -> np.ndarray:
     """Best NCC score of each window in a same-shape stack, in one batch.
 
@@ -160,6 +177,13 @@ def match_windows(
     at least ``(H + h - 1, W + w - 1)`` element-wise, ``spectra`` the
     ``rfft2`` at ``fshape`` of each flipped (and, for ``zero_mean``,
     mean-centred) pattern, ``energies`` the matching kernel energies.
+
+    ``backend``/``dtype`` route the transforms through an
+    :class:`repro.imaging.backend.ArrayBackend` at a working precision; the
+    default (numpy, float64) reproduces the historical path bit for bit.
+    Pinned ``spectra`` must be native to the same backend and dtype.  Window
+    statistics and the flat-window threshold always run in float64 on the
+    host regardless of ``dtype`` (see :func:`_integral_table`).
     """
     windows = np.asarray(windows, dtype=np.float64)
     if windows.ndim != 3:
@@ -195,14 +219,21 @@ def match_windows(
             f"fshape {fshape} too small for windows ({win_h}, {win_w}) "
             f"and pattern ({h}, {w})"
         )
+    if backend is None:
+        # Deferred import: backend.py imports this module's shared helpers.
+        from repro.imaging.backend import get_backend
+
+        backend = get_backend("numpy")
     if spectra is None:
-        spectra = sp_fft.rfft2(kernels[:, ::-1, ::-1], s=fshape, axes=(-2, -1))
+        spectra = backend.rfft2(
+            backend.flip2(backend.asarray(kernels, dtype)), s=fshape
+        )
     if energies is None:
         energies = np.sum(kernels * kernels, axis=(1, 2))
     energies = np.asarray(energies, dtype=np.float64).reshape(-1, 1, 1)
 
-    window_spectra = sp_fft.rfft2(windows, s=fshape, axes=(-2, -1))
-    full = sp_fft.irfft2(window_spectra * spectra, s=fshape, axes=(-2, -1))
+    window_spectra = backend.rfft2(backend.asarray(windows, dtype), s=fshape)
+    full = backend.to_numpy(backend.irfft2(window_spectra * spectra, s=fshape))
     numerator = full[:, h - 1 : win_h, w - 1 : win_w]
     window_energy = _batched_window_sums(windows * windows, h, w)
     np.clip(window_energy, 0.0, None, out=window_energy)

@@ -19,6 +19,14 @@ scoring those windows is the *execute* step.  The per-call
 executes the same window list with one batched NCC per window shape
 (:func:`repro.imaging.ncc.match_windows`).  Because both consume the same
 planned coordinates, candidate geometry can never fork between the paths.
+
+This module is deliberately outside the array-backend seam
+(:mod:`repro.imaging.backend`): the per-call path *is* the float64 numpy
+reference that every (backend, dtype) lane of the engine is measured
+against, so it must stay backend-free.  Engine-side refinement pins its
+kernel spectra as backend-native arrays at the working dtype
+(``engine._RefineSpec``), but the window geometry planned here is pure
+integer arithmetic and therefore identical in every lane.
 """
 
 from __future__ import annotations

@@ -103,6 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "high-concurrency choice). Responses are "
                              "byte-identical either way (default: "
                              "threaded)")
+    parser.add_argument("--engine-backend", default=None,
+                        help="override the match engine's array backend "
+                             "(e.g. numpy, torch, cupy; requires the "
+                             "library on this host). Default: whatever "
+                             "the profile was trained with")
+    parser.add_argument("--engine-dtype", default=None,
+                        choices=("float64", "float32"),
+                        help="override the engine's working precision. "
+                             "float32 roughly halves FFT bandwidth; "
+                             "scores move within the ~1e-4 equivalence "
+                             "lane. Default: the profile's own dtype")
     parser.add_argument("--output", metavar="NPZ",
                         help="with --images: also write probs/labels to "
                              "this .npz file")
@@ -258,6 +269,10 @@ def main(argv: list[str] | None = None, stdout=None) -> int:
             overrides["max_request_bytes"] = args.max_request_bytes
         if args.request_timeout_s is not None:
             overrides["request_timeout_s"] = args.request_timeout_s
+        if args.engine_backend is not None:
+            overrides["engine_backend"] = args.engine_backend
+        if args.engine_dtype is not None:
+            overrides["engine_dtype"] = args.engine_dtype
         config = ServingConfig(
             workers=args.workers,
             max_batch=args.max_batch,
@@ -280,6 +295,11 @@ def main(argv: list[str] | None = None, stdout=None) -> int:
         # The ProfileError subclasses carry actionable, mode-specific text
         # (not a profile / truncated / version skew); surface it verbatim.
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # e.g. an --engine-backend naming a library this host doesn't
+        # have: a usage error (the message lists what is available).
+        print(f"error: invalid serving option: {exc}", file=sys.stderr)
         return 2
     except ServingError as exc:
         print(f"error: pool startup failed: {exc}", file=sys.stderr)

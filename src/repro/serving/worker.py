@@ -44,8 +44,17 @@ def worker_main(
     warmup_shapes: tuple[tuple[int, int], ...],
     task_queue,
     result_queue,
+    engine_backend: str | None = None,
+    engine_dtype: str | None = None,
 ) -> None:
-    """Process entry point; see the module docstring for the protocol."""
+    """Process entry point; see the module docstring for the protocol.
+
+    ``engine_backend``/``engine_dtype`` are the pool's serve-time engine
+    overrides (``ServingConfig``); ``None`` keeps the profile's own
+    configuration.  The profile's recorded autotune decisions are replayed
+    during warmup either way — workers never re-time, so every worker of a
+    pool executes one identical plan.
+    """
     pid = os.getpid()
     try:
         # Imported here, not at module top: under "spawn"/"forkserver" the
@@ -54,12 +63,14 @@ def worker_main(
         from repro.serving.dispatcher import debug
 
         pipeline = InspectorGadget.load(profile_path)
+        pipeline.reconfigure_engine(engine_backend, engine_dtype)
         for shape in warmup_shapes:
             pinned = pipeline.feature_generator.warm(shape)
             debug(f"worker {worker_id} warmed {tuple(shape)}: "
                   f"{pinned['exact']} exact + {pinned['coarse']} coarse "
                   f"columns, {pinned['refine_buffers']} refinement buffers "
-                  f"pinned")
+                  f"pinned ({pinned['backend']}/{pinned['dtype']}, "
+                  f"autotune={'replayed' if pinned['autotune'] else 'off'})")
         # Even with no warmup shapes, serving wants plans cached: the same
         # image shape arrives request after request.
         pipeline.feature_generator.engine.cache_plans = True

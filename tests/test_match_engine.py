@@ -14,6 +14,8 @@ import numpy as np
 import pytest
 
 from repro.features import FeatureGenerator
+from repro.imaging.autotune import FFT_POLICIES, AutotuneRecord
+from repro.imaging.backend import available_backends, get_backend
 from repro.imaging.engine import MatchEngine
 from repro.imaging.pyramid import PyramidMatcher, pyramid_match
 from repro.patterns import Pattern
@@ -21,6 +23,12 @@ from repro.patterns import Pattern
 # The engine and the naive path use different FFT padding and different
 # window-sum algorithms, so scores differ by round-off only.
 TOL = 1e-6
+
+# Tolerance tiers for the backend × dtype matrix: float64 lanes stay at the
+# round-off bound above; float32 transforms admit single-precision error.
+BACKENDS = available_backends()
+DTYPE_TOL = {"float64": TOL, "float32": 1e-4}
+BACKEND_DTYPE = [(b, d) for b in BACKENDS for d in DTYPE_TOL]
 
 
 def _matcher(mode: str, zero_mean: bool, factor: int = 4) -> PyramidMatcher:
@@ -34,8 +42,9 @@ def _naive_values(images, patterns, matcher) -> np.ndarray:
     return fg.transform_images(images).values
 
 
-def _batched_values(images, patterns, matcher, n_jobs: int = 1) -> np.ndarray:
-    fg = FeatureGenerator(patterns, matcher, n_jobs=n_jobs)
+def _batched_values(images, patterns, matcher, n_jobs: int = 1,
+                    **engine_kwargs) -> np.ndarray:
+    fg = FeatureGenerator(patterns, matcher, n_jobs=n_jobs, **engine_kwargs)
     return fg.transform_images(images).values
 
 
@@ -314,3 +323,158 @@ class TestDeterminism:
         a = fg.transform_images(images).values
         b = fg.transform_images(images).values
         assert a.tobytes() == b.tobytes()
+
+
+class TestBackendDtypeMatrix:
+    """Every available backend × working dtype against the float64 naive
+    reference, at its dtype's tolerance tier; parametrizing over
+    ``available_backends()`` makes optional backends (torch, cupy) join the
+    matrix automatically where installed and skip nowhere — a host without
+    them simply has a smaller matrix."""
+
+    @pytest.mark.parametrize("mode", ["exact", "pyramid"])
+    @pytest.mark.parametrize("backend,dtype", BACKEND_DTYPE)
+    def test_equivalent_to_naive(self, backend, dtype, mode):
+        images, patterns = _random_case(77 + (mode == "pyramid"))
+        matcher = _matcher(mode, zero_mean=True)
+        naive = _naive_values(images, patterns, matcher)
+        values = _batched_values(images, patterns, matcher,
+                                 backend=backend, dtype=dtype)
+        np.testing.assert_allclose(values, naive, rtol=0,
+                                   atol=DTYPE_TOL[dtype])
+
+    @pytest.mark.parametrize("backend,dtype", BACKEND_DTYPE)
+    def test_n_jobs_byte_identical_per_combo(self, backend, dtype):
+        """The determinism contract is per-(backend, dtype): within one
+        combination, parallelism must never change a byte."""
+        images, patterns = _random_case(303)
+        matcher = _matcher("pyramid", zero_mean=False)
+        serial, two, four = (
+            _batched_values(images, patterns, matcher, n_jobs=n,
+                            backend=backend, dtype=dtype)
+            for n in (1, 2, 4)
+        )
+        assert serial.tobytes() == two.tobytes() == four.tobytes()
+
+    def test_default_engine_is_reference_backend(self):
+        engine = MatchEngine()
+        assert engine.backend.name == "numpy"
+        assert engine.dtype == "float64"
+        assert "numpy" in BACKENDS  # the reference backend always exists
+
+    def test_float32_output_still_float64(self, rng):
+        """Working dtype touches transforms only; scores stay float64."""
+        values = _batched_values(
+            [rng.random((30, 30))], [Pattern(array=rng.random((8, 8)))],
+            _matcher("exact", zero_mean=False), dtype="float32",
+        )
+        assert values.dtype == np.float64
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            MatchEngine(backend="accelerator9000")
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            MatchEngine(dtype="float16")
+
+    def test_backend_instances_pass_through(self):
+        backend = get_backend("numpy")
+        assert get_backend(backend) is backend
+
+
+class TestAutotune:
+    """Plan-time tuning: decisions recorded at warm, replayed thereafter."""
+
+    def test_warm_records_decision_and_stays_accurate(self, rng):
+        images = [rng.random((48, 48)) for _ in range(4)]
+        kernels = [rng.random((12, 12)), rng.random((10, 14))]
+        baseline = MatchEngine().score_matrix(images, kernels)
+        engine = MatchEngine(autotune=True)
+        summary = engine.warm((48, 48), kernels)
+        decision = engine.autotune_record.decision_for((48, 48))
+        assert summary["autotune"] == decision
+        assert summary["backend"] == "numpy"
+        assert summary["dtype"] == "float64"
+        assert decision["fft_policy"] in FFT_POLICIES
+        assert set(decision["timings_ms"]["fft"]) == set(FFT_POLICIES)
+        assert "batch" in decision["timings_ms"]
+        # Whatever padding the tuner picked only moves FFT round-off.
+        tuned = engine.score_matrix(images, kernels)
+        np.testing.assert_allclose(tuned, baseline, rtol=0, atol=TOL)
+
+    def test_warm_without_autotune_records_nothing(self, rng):
+        engine = MatchEngine()
+        summary = engine.warm((32, 32), [rng.random((8, 8))])
+        assert summary["autotune"] is None
+        assert not engine.autotune_record
+
+    def test_replayed_record_byte_identical_across_n_jobs(self, rng):
+        """Workers replay the tuner's record instead of re-timing, so every
+        parallelism level executes one identical plan."""
+        images = [rng.random((40, 40)) for _ in range(6)]
+        kernels = [rng.random((12, 12)), rng.random((9, 13))]
+        tuner = MatchEngine(PyramidMatcher(enabled=False), autotune=True)
+        tuner.warm((40, 40), kernels)
+        tuned = tuner.score_matrix(images, kernels)
+        for n_jobs in (1, 2, 4):
+            replay = MatchEngine(
+                PyramidMatcher(enabled=False), n_jobs=n_jobs,
+                autotune_record=tuner.autotune_record,
+            )
+            assert replay.score_matrix(images, kernels).tobytes() \
+                == tuned.tobytes()
+
+    def test_existing_decision_never_retimed(self, rng):
+        """A replayed shape keeps its recorded decision verbatim — serving
+        workers must not drift from the parent's plan."""
+        pinned = {"fft_policy": "exact", "batch_rows": 4, "timings_ms": {}}
+        record = AutotuneRecord()
+        record.record((32, 32), dict(pinned))
+        engine = MatchEngine(autotune=True, autotune_record=record)
+        engine.warm((32, 32), [rng.random((8, 8))])
+        assert engine.autotune_record.decision_for((32, 32)) == pinned
+
+    def test_record_payload_round_trip(self):
+        record = AutotuneRecord()
+        assert not record
+        assert AutotuneRecord.from_payload(None).decisions == {}
+        record.record((48, 64), {"fft_policy": "pow2", "batch_rows": 4,
+                                 "timings_ms": {"fft": {"pow2": 1.5}}})
+        assert record
+        clone = AutotuneRecord.from_payload(record.to_payload())
+        assert clone.decisions == record.decisions
+        assert clone.decision_for((48, 64))["fft_policy"] == "pow2"
+        assert clone.decision_for((1, 1)) is None
+
+
+class TestProfileRoundTrip:
+    """Saved profiles carry the engine configuration and autotune record."""
+
+    def test_profile_round_trips_autotune_record(self, serving_profile,
+                                                 tmp_path):
+        from repro.core.pipeline import InspectorGadget
+
+        ig = InspectorGadget.load(serving_profile)
+        engine = ig.feature_generator.engine
+        engine.autotune = True
+        ig.warmup([(32, 32)])
+        record = engine.autotune_record
+        assert record.decision_for((32, 32)) is not None
+
+        loaded = InspectorGadget.load(ig.save(tmp_path / "tuned.igz"))
+        loaded_engine = loaded.feature_generator.engine
+        # Loaded profiles replay, never re-time: same decisions, tuning off.
+        assert not loaded_engine.autotune
+        assert loaded_engine.autotune_record.decisions == record.decisions
+        info = loaded.engine_info()
+        assert info["backend"] == "numpy"
+        assert info["dtype"] == "float64"
+        assert info["autotune"] == record.to_payload()
+
+    def test_engine_info_before_tuning(self, serving_profile):
+        from repro.core.pipeline import InspectorGadget
+
+        info = InspectorGadget.load(serving_profile).engine_info()
+        assert info == {"backend": "numpy", "dtype": "float64",
+                        "autotune": None}
