@@ -18,6 +18,7 @@ import json
 import os
 import shutil
 import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.eval.experiments import SWEEP_CACHE_VERSION, ExperimentProfile
@@ -135,12 +136,22 @@ def record_json(workload: str, **fields) -> None:
     file is JSON Lines — one object per line, append-only, so records from
     different runs and different benchmarks interleave without a rewrite.
     Every record carries ``workload``, ``backend``/``dtype`` (defaulting to
-    the reference engine configuration) and the ``git_sha`` it measured;
-    callers add throughput fields such as ``imgs_per_sec`` and ``speedup``.
+    the reference engine configuration), an ISO-8601 UTC ``ts`` so soak
+    runs can be ordered without relying on file mtimes, and — when the
+    benchmark runs inside a git checkout — the ``git_sha`` it measured.
+    Outside a checkout (an ingest soak on a deployment host, a copied
+    benchmark directory) the ``git_sha`` key is simply omitted rather than
+    recorded as ``"unknown"``; callers add throughput fields such as
+    ``imgs_per_sec`` and ``speedup``.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
-    record = {"workload": workload, "backend": "numpy", "dtype": "float64",
-              "git_sha": _git_sha()}
+    record = {
+        "workload": workload, "backend": "numpy", "dtype": "float64",
+        "ts": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    sha = _git_sha()
+    if sha != "unknown":
+        record["git_sha"] = sha
     record.update(fields)
     with open(RESULTS_DIR / "bench.json", "a", encoding="utf-8") as fh:
         fh.write(json.dumps(record, sort_keys=True) + "\n")

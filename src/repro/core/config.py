@@ -76,6 +76,20 @@ class ServingConfig:
     for clients that send ``Accept-Encoding: gzip`` (base64 float64
     images are ~3× raw, so this is a real wire win; compressed bytes are
     deterministic, preserving transport byte-identity).
+
+    The ``ingest_*`` knobs configure the watch-folder ingestion loop
+    (:mod:`repro.serving.ingest`, the CLI's ``--watch``):
+    ``ingest_poll_interval_s`` is the scanner cadence (inotify, when
+    available, only wakes it early), ``ingest_stable_polls`` how many
+    consecutive unchanged ``(size, mtime)`` observations a file needs
+    before it is read (half-written files wait), ``ingest_max_in_flight``
+    the backpressure bound on files submitted but not yet verdicted,
+    ``ingest_max_failures`` the decode/score attempts before a poison
+    file is quarantined, ``ingest_commit_lines`` /
+    ``ingest_commit_interval_s`` the sink-flush + ledger-fsync commit
+    cadence (whichever comes first), and ``ingest_suffixes`` the file
+    extensions the scanner picks up.  Like the transport knobs, none of
+    these can change a verdict — only when and how it is produced.
     """
 
     workers: int = 2
@@ -95,6 +109,13 @@ class ServingConfig:
     gzip_level: int = 6
     engine_backend: str | None = None
     engine_dtype: str | None = None
+    ingest_poll_interval_s: float = 0.25
+    ingest_stable_polls: int = 2
+    ingest_max_in_flight: int = 16
+    ingest_max_failures: int = 3
+    ingest_commit_lines: int = 32
+    ingest_commit_interval_s: float = 1.0
+    ingest_suffixes: tuple[str, ...] = (".npy",)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -170,6 +191,45 @@ class ServingConfig:
             raise ValueError(
                 f"engine_dtype must be None or one of {WORKING_DTYPES}, "
                 f"got {self.engine_dtype!r}"
+            )
+        if self.ingest_poll_interval_s <= 0:
+            raise ValueError(
+                "ingest_poll_interval_s must be > 0, "
+                f"got {self.ingest_poll_interval_s}"
+            )
+        if self.ingest_stable_polls < 1:
+            raise ValueError(
+                f"ingest_stable_polls must be >= 1, "
+                f"got {self.ingest_stable_polls}"
+            )
+        if self.ingest_max_in_flight < 1:
+            raise ValueError(
+                f"ingest_max_in_flight must be >= 1, "
+                f"got {self.ingest_max_in_flight}"
+            )
+        if self.ingest_max_failures < 1:
+            raise ValueError(
+                f"ingest_max_failures must be >= 1, "
+                f"got {self.ingest_max_failures}"
+            )
+        if self.ingest_commit_lines < 1:
+            raise ValueError(
+                f"ingest_commit_lines must be >= 1, "
+                f"got {self.ingest_commit_lines}"
+            )
+        if self.ingest_commit_interval_s <= 0:
+            raise ValueError(
+                "ingest_commit_interval_s must be > 0, "
+                f"got {self.ingest_commit_interval_s}"
+            )
+        self.ingest_suffixes = tuple(self.ingest_suffixes)
+        if not self.ingest_suffixes or not all(
+            isinstance(s, str) and s.startswith(".") and len(s) > 1
+            for s in self.ingest_suffixes
+        ):
+            raise ValueError(
+                "ingest_suffixes must be a non-empty tuple of "
+                f"'.ext' strings, got {self.ingest_suffixes!r}"
             )
 
 

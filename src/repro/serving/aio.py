@@ -48,7 +48,6 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.serving.dispatcher import ServingError, debug
 from repro.serving.protocol import (
-    RETRY_AFTER_S,
     RequestError,
     accepts_gzip,
     decode_image,
@@ -60,6 +59,7 @@ from repro.serving.protocol import (
     health_payload,
     parse_label_request,
     response_payload,
+    retry_after_for,
 )
 
 __all__ = ["AsyncHttpFrontEnd", "serve_http_async"]
@@ -393,7 +393,8 @@ class AsyncHttpFrontEnd:
     async def _healthz(self, query: dict):
         loop = asyncio.get_running_loop()
         health = await loop.run_in_executor(None, self.pool.health)
-        payload = health_payload(health, self.refusing() is not None)
+        payload = health_payload(health, self.refusing() is not None,
+                                 ingest=self.pool.ingest_stats())
         if query.get("ping"):
             def _ping() -> dict:
                 try:
@@ -510,10 +511,9 @@ class AsyncHttpFrontEnd:
         if encoding:
             lines.append(f"Content-Encoding: {encoding}")
         lines.append(f"Content-Length: {len(body)}")
-        if status == 503:
-            # Both 503 flavours (draining and dead pool) are back-off
-            # conditions; mirror the threaded front end's header.
-            lines.append(f"Retry-After: {RETRY_AFTER_S}")
+        retry_after = retry_after_for(status)
+        if retry_after is not None:
+            lines.append(f"Retry-After: {retry_after}")
         if close:
             lines.append("Connection: close")
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")

@@ -1,6 +1,6 @@
 """Command-line serving entry point: ``python -m repro.serving``.
 
-Loads a saved profile into a multi-process pool and serves it.  Three
+Loads a saved profile into a multi-process pool and serves it.  Four
 mutually exclusive modes:
 
 * ``--images a.npy b.npy ...`` — label the given arrays in one batch
@@ -20,6 +20,13 @@ mutually exclusive modes:
   bound URL is printed as ``serving HTTP on http://host:port`` on
   stdout, so a supervisor can parse it.  Runs until ``POST
   /admin/drain`` (exit 0) or SIGINT.
+* ``--watch DIR`` — ingestion daemon: tail a watch directory for ``.npy``
+  image files and stream verdicts to one or more ``--sink`` targets
+  (``jsonl:PATH``/``jsonl:-``, ``csv:PATH``, ``move:DIR``), resuming
+  across restarts through a content-hash checkpoint ledger (``--ledger``,
+  default ``DIR/.ingest/ledger.jsonl``).  ``--once`` processes the
+  current backlog, drains, and exits 0 — the batch/CI form.  Full
+  semantics in ``docs/ingest.md``.
 
 Exit codes (supervisor contract): ``0`` success/clean drain, ``1`` a
 request or transport failure with a live pool, ``2`` usage errors (bad
@@ -34,13 +41,17 @@ Examples::
         python -m repro.serving --profile ksdd.igz --workers 2 --stdin
     python -m repro.serving --profile ksdd.igz --workers 4 \
         --http 127.0.0.1:8765
+    python -m repro.serving --profile ksdd.igz --workers 4 \
+        --watch /srv/camera --sink jsonl:verdicts.jsonl --sink move:/srv/bins
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 
 import numpy as np
 
@@ -49,6 +60,7 @@ from repro.core.pipeline import ProfileError
 from repro.serving.aio import serve_http_async
 from repro.serving.dispatcher import ServingError
 from repro.serving.http import serve_http
+from repro.serving.ingest import parse_sink_spec, start_ingest
 from repro.serving.pool import ServingPool
 from repro.serving.protocol import envelope_for, response_payload
 
@@ -95,6 +107,34 @@ def build_parser() -> argparse.ArgumentParser:
                            "printed on stdout; IPv6 hosts use brackets, "
                            "[::1]:8765); runs until POST /admin/drain or "
                            "SIGINT")
+    mode.add_argument("--watch", metavar="DIR",
+                      help="ingestion daemon: tail DIR for new .npy image "
+                           "files, score each through the pool, and stream "
+                           "verdicts to every --sink; restarts resume from "
+                           "the checkpoint ledger without duplicate "
+                           "verdicts; runs until SIGINT (or, with --once, "
+                           "until the backlog drains)")
+    parser.add_argument("--sink", action="append", metavar="SPEC",
+                        help="with --watch: a verdict sink as scheme:target "
+                             "— jsonl:PATH (JSON lines; jsonl:- for "
+                             "stdout), csv:PATH (per-serial report), or "
+                             "move:DIR (move each file into "
+                             "DIR/label_<n>/). Repeatable; every verdict "
+                             "goes to every sink (default: jsonl:-)")
+    parser.add_argument("--ledger", metavar="PATH", default=None,
+                        help="with --watch: checkpoint ledger path "
+                             "(default: DIR/.ingest/ledger.jsonl)")
+    parser.add_argument("--once", action="store_true",
+                        help="with --watch: process the current backlog, "
+                             "drain, and exit 0 instead of tailing forever")
+    parser.add_argument("--poll-interval-s", type=float, default=None,
+                        help="with --watch: directory scan cadence in "
+                             "seconds; inotify, when available, only wakes "
+                             "the scanner early (default: 0.25)")
+    parser.add_argument("--max-in-flight", type=int, default=None,
+                        help="with --watch: backpressure bound on files "
+                             "submitted but not yet verdicted "
+                             "(default: 16)")
     parser.add_argument("--http-backend", default=None,
                         choices=("threaded", "asyncio"),
                         help="with --http: transport implementation — "
@@ -250,6 +290,39 @@ def _run_http(pool: ServingPool, out) -> int:
         front.close()
 
 
+def _run_watch(pool: ServingPool, controller, out) -> int:
+    """The ingestion daemon loop: announce, tail (or drain once), stop.
+
+    ``--once`` waits for the backlog to drain and exits; otherwise the
+    loop runs until SIGINT.  Either way the controller is stopped with a
+    full drain + flush, so every verdict for an admitted file is durable
+    before the exit code is decided: 0 clean, 3 when the pool (and with
+    it the ingest loop) terminally failed.
+    """
+    sinks = ", ".join(sink.describe() for sink in controller.sinks)
+    print(f"watching {controller.watch_dir} (sinks: {sinks}, "
+          f"ledger: {controller.ledger.path})", file=out, flush=True)
+    try:
+        if controller.once:
+            controller.wait_idle()
+        else:
+            while controller.stats()["failure"] is None:
+                time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("interrupt: draining in-flight files", file=sys.stderr)
+    finally:
+        controller.stop(drain=True, flush=True)
+    failure = controller.stats()["failure"]
+    if failure is not None:
+        print(f"error: ingest failed: {failure}", file=sys.stderr)
+        return 3
+    stats = controller.stats()
+    print(f"ingest drained: {stats['processed']} processed, "
+          f"{stats['skipped']} skipped, {stats['failed']} failed, "
+          f"{stats['quarantined']} quarantined", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None, stdout=None) -> int:
     """CLI entry point; returns the process exit code (see module doc)."""
     args = build_parser().parse_args(argv)
@@ -273,6 +346,10 @@ def main(argv: list[str] | None = None, stdout=None) -> int:
             overrides["engine_backend"] = args.engine_backend
         if args.engine_dtype is not None:
             overrides["engine_dtype"] = args.engine_dtype
+        if args.poll_interval_s is not None:
+            overrides["ingest_poll_interval_s"] = args.poll_interval_s
+        if args.max_in_flight is not None:
+            overrides["ingest_max_in_flight"] = args.max_in_flight
         config = ServingConfig(
             workers=args.workers,
             max_batch=args.max_batch,
@@ -286,6 +363,21 @@ def main(argv: list[str] | None = None, stdout=None) -> int:
         # usage error, same exit code as an unloadable profile path.
         print(f"error: invalid serving option: {exc}", file=sys.stderr)
         return 2
+    sinks = None
+    if args.watch is not None:
+        # Validate the ingest wiring before the (slow) pool spin-up so a
+        # typo'd sink scheme or missing watch dir fails fast as usage.
+        try:
+            if not os.path.isdir(args.watch):
+                raise ValueError(
+                    f"--watch directory {args.watch!r} does not exist "
+                    "or is not a directory"
+                )
+            sinks = [parse_sink_spec(spec)
+                     for spec in (args.sink or ["jsonl:-"])]
+        except (ValueError, OSError) as exc:
+            print(f"error: invalid serving option: {exc}", file=sys.stderr)
+            return 2
     try:
         pool = ServingPool(args.profile, config)
     except FileNotFoundError as exc:
@@ -311,6 +403,10 @@ def main(argv: list[str] | None = None, stdout=None) -> int:
             return _run_stdin(pool, out)
         if args.http is not None:
             return _run_http(pool, out)
+        if args.watch is not None:
+            controller = start_ingest(pool, args.watch, sinks, args.ledger,
+                                      once=args.once)
+            return _run_watch(pool, controller, out)
         return _run_images(pool, args.images, args.output, out)
     except (OSError, ValueError, ServingError, TimeoutError) as exc:
         if pool.health().failure is not None:

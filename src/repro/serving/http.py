@@ -74,7 +74,6 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.serving.dispatcher import ServingError, debug
 from repro.serving.protocol import (
-    RETRY_AFTER_S,
     RequestError,
     accepts_gzip,
     decode_image,
@@ -86,6 +85,7 @@ from repro.serving.protocol import (
     health_payload,
     parse_label_request,
     response_payload,
+    retry_after_for,
 )
 
 __all__ = ["HttpFrontEnd", "serve_http"]
@@ -363,7 +363,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _healthz(self, query: dict) -> None:
         health = self.front.pool.health()
-        payload = health_payload(health, self.front.refusing() is not None)
+        payload = health_payload(health, self.front.refusing() is not None,
+                                 ingest=self.front.pool.ingest_stats())
         if query.get("ping"):
             try:
                 rtts = self.front.pool.ping(timeout=2.0)
@@ -490,10 +491,9 @@ class _Handler(BaseHTTPRequestHandler):
         if encoding:
             self.send_header("Content-Encoding", encoding)
         self.send_header("Content-Length", str(len(body)))
-        if status == 503:
-            # Both 503 flavours (draining and dead pool) are conditions a
-            # client should back off from, not hammer.
-            self.send_header("Retry-After", str(RETRY_AFTER_S))
+        retry_after = retry_after_for(status)
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
         if self.close_connection:
             # Refused-unread paths close the connection (see _read_body);
             # advertise it so keep-alive clients don't retry into a

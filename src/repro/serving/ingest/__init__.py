@@ -1,0 +1,41 @@
+"""Continuous ingestion: watch-folder serving over the shared pool.
+
+The subsystem that turns the serving daemon into an always-on inspection
+station (ROADMAP item 3): a :class:`~repro.serving.ingest.source.
+WatchSource` tails a directory a camera drops frames into, the
+:class:`~repro.serving.ingest.controller.IngestController` scores each
+stable file through the ordinary ``Dispatcher.submit`` path with bounded
+in-flight backpressure, verdicts fan out to pluggable
+:class:`~repro.serving.ingest.sinks.Sink` implementations, and the
+:class:`~repro.serving.ingest.ledger.CheckpointLedger` makes restarts
+resume without duplicate verdicts (at-least-once, idempotent by content
+hash).
+
+See ``docs/ingest.md`` for semantics and a CLI walkthrough.
+"""
+
+from repro.serving.ingest.controller import IngestController, start_ingest
+from repro.serving.ingest.ledger import CheckpointLedger, content_key
+from repro.serving.ingest.sinks import (
+    CsvSink,
+    JsonlSink,
+    MoveSink,
+    Sink,
+    parse_sink_spec,
+    verdict_line,
+)
+from repro.serving.ingest.source import WatchSource
+
+__all__ = [
+    "IngestController",
+    "start_ingest",
+    "CheckpointLedger",
+    "content_key",
+    "Sink",
+    "JsonlSink",
+    "CsvSink",
+    "MoveSink",
+    "parse_sink_spec",
+    "verdict_line",
+    "WatchSource",
+]

@@ -1,0 +1,255 @@
+"""Pluggable verdict sinks: where watch-folder verdicts flow out.
+
+Every sink implements one small protocol — ``write(verdict)``,
+``flush()``, ``close()``, ``describe()`` — and the controller treats a
+list of them uniformly (one verdict fans out to all).  Three sinks ship:
+
+* :class:`JsonlSink` (``jsonl:PATH``, ``jsonl:-`` for stdout) — one JSON
+  object per verdict.  Floats serialize with Python's shortest-round-trip
+  ``repr`` (the same rule as :func:`repro.serving.protocol.
+  response_payload`), so a consumer that parses ``probs`` back into
+  float64 recovers the pool's output **byte-identically** — the
+  end-to-end determinism contract of the ingest benchmark.
+* :class:`CsvSink` (``csv:PATH``) — the per-serial inspection report the
+  AOI deployments want on an operator's desk: one row per file with its
+  serial (filename stem), label, confidence and content key.
+* :class:`MoveSink` (``move:DIR``) — routes the *inspected file itself*
+  by verdict: each source file is moved to ``DIR/label_<n>/``, the
+  classic accept/reject bin split (and, as a side effect, the cheapest
+  way to keep a hot watch folder small).
+
+Buffering contract (shared with the checkpoint ledger): ``write`` only
+buffers; the controller's commit calls ``flush()`` — batched line writes,
+one ``fsync`` — *before* syncing the ledger, under one lock.  Sinks must
+therefore never flush on their own; self-flushing would let a sink line
+become durable without its ledger entry and break the crash-restart
+pairing (see ``ledger.py``).  ``MoveSink`` buffers too: the rename runs
+at ``flush()``, so a file leaves the watch folder only at the same
+commit that persists its verdict lines — a crash before the commit
+leaves the file in place to be re-processed, never half-recorded.
+
+``parse_sink_spec`` maps the CLI's ``--sink`` strings onto these classes;
+unknown schemes raise ``ValueError`` with the list of known ones (a usage
+error, exit code 2).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+import sys
+from pathlib import Path
+
+__all__ = [
+    "Sink",
+    "JsonlSink",
+    "CsvSink",
+    "MoveSink",
+    "parse_sink_spec",
+    "verdict_line",
+]
+
+import json
+
+
+def verdict_line(verdict: dict) -> str:
+    """The canonical JSONL serialization of one verdict (no newline).
+
+    One place builds the line so the benchmark's byte-identity check and
+    every producer agree on key order and float formatting.
+    """
+    return json.dumps(verdict, sort_keys=True)
+
+
+class Sink:
+    """Protocol stub: a verdict consumer with batched, committed writes.
+
+    Subclasses implement :meth:`write` (buffer one verdict),
+    :meth:`flush` (persist the buffer; called on the controller's commit
+    cadence, bounded fsync), :meth:`close` (final flush + release) and
+    :meth:`describe` (one line for ``/healthz``/``/profile``).
+    """
+
+    def write(self, verdict: dict) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def close(self, flush: bool = True) -> None:  # pragma: no cover
+        pass
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class JsonlSink(Sink):
+    """Append verdicts as JSON Lines to a file (or stdout with ``"-"``)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._buffer: list[str] = []
+        self._closed = False
+        if path == "-":
+            self._fh = sys.stdout
+            self._owns = False
+        else:
+            Path(path).parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(path, "a", encoding="utf-8")
+            self._owns = True
+
+    def write(self, verdict: dict) -> None:
+        self._buffer.append(verdict_line(verdict) + "\n")
+
+    def flush(self) -> None:
+        if self._closed:
+            return
+        if self._buffer:
+            self._fh.write("".join(self._buffer))
+            self._buffer.clear()
+        self._fh.flush()
+        if self._owns:
+            os.fsync(self._fh.fileno())
+
+    def close(self, flush: bool = True) -> None:
+        if self._closed:
+            return
+        if flush:
+            try:
+                self.flush()
+            except (OSError, ValueError):
+                pass
+        self._closed = True
+        if self._owns:
+            self._fh.close()
+
+    def describe(self) -> str:
+        return f"jsonl:{self.path}"
+
+
+class CsvSink(Sink):
+    """Per-serial CSV report: one row per inspected file.
+
+    Columns: ``serial`` (filename stem — the unit an operator tracks),
+    ``label``, ``confidence``, ``key`` (content hash, the dedupe handle),
+    ``path``.  The header is written once per file, even across restarts
+    (append mode checks the existing size).
+    """
+
+    FIELDS = ("serial", "label", "confidence", "key", "path")
+
+    def __init__(self, path: str):
+        self.path = path
+        self._closed = False
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        fresh = not (os.path.exists(path) and os.path.getsize(path) > 0)
+        self._fh = open(path, "a", encoding="utf-8", newline="")
+        self._rows = io.StringIO()
+        self._writer = csv.writer(self._rows)
+        if fresh:
+            self._writer.writerow(self.FIELDS)
+
+    def write(self, verdict: dict) -> None:
+        self._writer.writerow([
+            verdict["serial"],
+            verdict["label"],
+            repr(verdict["confidence"]),
+            verdict["key"],
+            verdict["path"],
+        ])
+
+    def flush(self) -> None:
+        if self._closed:
+            return
+        pending = self._rows.getvalue()
+        if pending:
+            self._fh.write(pending)
+            self._rows.seek(0)
+            self._rows.truncate(0)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self, flush: bool = True) -> None:
+        if self._closed:
+            return
+        if flush:
+            try:
+                self.flush()
+            except (OSError, ValueError):
+                pass
+        self._closed = True
+        self._fh.close()
+
+    def describe(self) -> str:
+        return f"csv:{self.path}"
+
+
+class MoveSink(Sink):
+    """Move each inspected file into a per-label bin under ``root``.
+
+    ``root/label_<n>/<filename>`` — the accept/reject split of a physical
+    inspection line.  The move doubles as watch-folder hygiene: a moved
+    file disappears from the scanner's view, so hot folders stay small
+    without any extra cleanup.  A name collision in the bin keeps both
+    files by prefixing the newcomer with its content key (first 12 hex).
+    Moves are buffered until :meth:`flush` so a file leaves the watch
+    folder only once its verdict commit lands (see the module docstring);
+    an already-gone source (crash replay) is skipped — idempotent.
+    """
+
+    def __init__(self, root: str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._pending: list[tuple[str, int, str]] = []  # (path, label, key)
+
+    def write(self, verdict: dict) -> None:
+        self._pending.append(
+            (verdict["path"], verdict["label"], verdict["key"])
+        )
+
+    def flush(self) -> None:
+        pending, self._pending = self._pending, []
+        for path, label, key in pending:
+            source = Path(path)
+            if not source.exists():
+                continue  # already moved (replay after a crash)
+            bin_dir = self.root / f"label_{label}"
+            bin_dir.mkdir(parents=True, exist_ok=True)
+            target = bin_dir / source.name
+            if target.exists():
+                target = bin_dir / f"{key[:12]}-{source.name}"
+            os.replace(source, target)
+
+    def close(self, flush: bool = True) -> None:
+        if flush:
+            try:
+                self.flush()
+            except OSError:
+                pass
+
+    def describe(self) -> str:
+        return f"move:{self.root}"
+
+
+_SCHEMES = {
+    "jsonl": JsonlSink,
+    "csv": CsvSink,
+    "move": MoveSink,
+}
+
+
+def parse_sink_spec(spec: str) -> Sink:
+    """Build a sink from a ``scheme:target`` CLI spec.
+
+    ``jsonl:verdicts.jsonl``, ``jsonl:-`` (stdout), ``csv:report.csv``,
+    ``move:/srv/bins``.  Raises ``ValueError`` naming the known schemes
+    on anything else — the CLI maps that to a usage error (exit 2).
+    """
+    scheme, sep, target = spec.partition(":")
+    if not sep or not target or scheme not in _SCHEMES:
+        known = ", ".join(f"{name}:PATH" for name in sorted(_SCHEMES))
+        raise ValueError(
+            f"invalid sink spec {spec!r}; expected one of {known}"
+        )
+    return _SCHEMES[scheme](target)

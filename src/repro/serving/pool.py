@@ -146,6 +146,7 @@ class ServingPool:
         self._stopping = False
         self._closed = False
         self._dispatcher: Dispatcher | None = None
+        self._ingest = None
         try:
             for worker_id in range(self.config.workers):
                 self._workers[worker_id] = self._spawn_worker(worker_id)
@@ -251,6 +252,21 @@ class ServingPool:
         """
         return self._dispatcher.ping(timeout)
 
+    def attach_ingest(self, controller) -> None:
+        """Register the watch-folder ingest controller feeding this pool.
+
+        Called by :class:`~repro.serving.ingest.controller.
+        IngestController` on construction.  Attachment is purely for
+        observability: it is how both HTTP front ends surface live ingest
+        counters on ``GET /healthz`` and the wiring on ``GET /profile``
+        without transport-specific plumbing.
+        """
+        self._ingest = controller
+
+    def ingest_stats(self) -> dict | None:
+        """Live ingest counters, or ``None`` when no watcher is attached."""
+        return None if self._ingest is None else self._ingest.stats()
+
     def serving_fingerprint(self) -> str:
         """Fingerprint of the profile being served (deployment audits).
 
@@ -267,7 +283,9 @@ class ServingPool:
         architecture search summary when the profile was tuned), the match
         engine's active backend/dtype and replayed autotune decisions
         (``engine``), and the dispatch knobs that shape latency without
-        ever shaping answers.
+        ever shaping answers.  When a watch-folder controller is attached,
+        an ``ingest`` key describes its static wiring (watch dir, sinks,
+        ledger, knobs); live counters live on ``/healthz`` instead.
         """
         pipeline = self._pipeline
         tuning = None
@@ -277,7 +295,7 @@ class ServingPool:
                 "best_score": float(pipeline.tuning.best_score),
                 "architectures_searched": len(pipeline.tuning.scores),
             }
-        return {
+        summary = {
             "fingerprint": self.serving_fingerprint(),
             "profile_path": self.profile_path,
             "n_patterns": self._n_patterns,
@@ -293,6 +311,9 @@ class ServingPool:
                 "http_backend": self.config.http_backend,
             },
         }
+        if self._ingest is not None:
+            summary["ingest"] = self._ingest.config_summary()
+        return summary
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -62,6 +62,7 @@ __all__ = [
     "health_payload",
     "parse_label_request",
     "response_payload",
+    "retry_after_for",
 ]
 
 # Seconds a 503 response tells well-behaved clients to back off before
@@ -69,6 +70,19 @@ __all__ = [
 # enough that a draining pool is not hammered on its way down, short
 # enough that a respawning pool is retried promptly.
 RETRY_AFTER_S = 5
+
+
+def retry_after_for(status: int) -> int | None:
+    """The ``Retry-After`` seconds for a response status, or ``None``.
+
+    The one place the backoff policy lives: both HTTP front ends call
+    this when emitting a response (only 503 — pool draining or
+    respawning — carries the header today), and the ingest retry loop
+    uses the same value to pace its re-submits, so an in-process
+    watcher backs off exactly as long as a well-behaved HTTP client
+    would.
+    """
+    return RETRY_AFTER_S if status == 503 else None
 
 # dtypes accepted in base64 image envelopes: any real numeric scalar kind.
 # Rejecting everything else up front keeps object/str/void payloads from
@@ -360,14 +374,18 @@ def gzip_body(body: bytes, level: int = 6) -> bytes:
     return _gzip.compress(body, compresslevel=level, mtime=0)
 
 
-def health_payload(health, draining: bool) -> dict:
+def health_payload(health, draining: bool, ingest: dict | None = None) -> dict:
     """The ``GET /healthz`` body for one pool health snapshot.
 
     Shared by both HTTP front ends so their health responses are built —
     and serialize — identically; ``health`` is a
-    :class:`~repro.serving.pool.PoolHealth`.
+    :class:`~repro.serving.pool.PoolHealth`.  ``ingest``, when the pool
+    has a watch-folder controller attached, is its live counter snapshot
+    (:meth:`~repro.serving.ingest.controller.IngestController.stats`) and
+    appears under an ``"ingest"`` key; pools without ingestion omit the
+    key entirely, keeping existing consumers unaffected.
     """
-    return {
+    payload = {
         "ok": health.ok,
         "draining": draining,
         "pending_requests": health.pending_requests,
@@ -386,6 +404,9 @@ def health_payload(health, draining: bool) -> dict:
             for w in health.workers
         ],
     }
+    if ingest is not None:
+        payload["ingest"] = ingest
+    return payload
 
 
 def response_payload(weak: WeakLabels) -> dict:

@@ -1,0 +1,568 @@
+"""Tests for the watch-folder ingestion subsystem (repro.serving.ingest).
+
+The properties that make continuous ingestion trustworthy:
+
+1. **Determinism** — every verdict the watch-folder path writes is
+   byte-identical to single-process ``predict`` on the same image, for
+   any pool size (each file is one single-image request, the same
+   per-request identity the HTTP fronts pin).
+2. **Crash safety** — sinks and the checkpoint ledger buffer and commit
+   in lockstep, so a kill at any cooperative boundary loses a verdict's
+   sink lines and its ledger entry *together*: a restart against the
+   same ledger re-processes exactly the unrecorded files and the merged
+   output has no duplicate and no missing verdicts.
+3. **Hygiene** — half-written files are never read (stability window),
+   poison files are quarantined after N attempts instead of wedging the
+   loop, and the live counters surface through the same
+   ``health_payload``/``profile_summary`` seams both HTTP fronts share.
+
+Pool-backed tests spawn real worker processes, so this file lives in the
+serving lane (CI's serving-smoke job), not the fast matrix.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import time
+from datetime import datetime
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import ServingConfig
+from repro.core.pipeline import InspectorGadget
+from repro.serving.cli import main as cli_main
+from repro.serving.ingest import (
+    CheckpointLedger,
+    CsvSink,
+    IngestController,
+    JsonlSink,
+    MoveSink,
+    WatchSource,
+    content_key,
+    parse_sink_spec,
+    start_ingest,
+)
+from repro.serving.pool import PoolHealth, ServingPool
+from repro.serving.protocol import health_payload, retry_after_for
+
+# Fast controller knobs shared by every pool-backed test: quick polls,
+# deterministic scanning (no inotify), and a commit cadence the crash
+# tests control explicitly.
+FAST = dict(poll_interval_s=0.05, stable_polls=2, use_inotify=False)
+
+
+def wait_until(predicate, timeout: float = 20.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def drop(watch: Path, name: str, image: np.ndarray) -> Path:
+    path = watch / name
+    np.save(path, image)
+    return path
+
+
+def read_jsonl(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    return [json.loads(line) for line in
+            path.read_text().splitlines() if line]
+
+
+@pytest.fixture(scope="module")
+def images(tiny_ksdd):
+    return [item.image for item in tiny_ksdd.images[:8]]
+
+
+@pytest.fixture(scope="module")
+def baseline(serving_profile):
+    return InspectorGadget.load(serving_profile)
+
+
+@pytest.fixture(scope="module")
+def expected_rows(baseline, images):
+    """Single-image reference probs, the byte-identity target per file."""
+    return [baseline.predict([image]).probs[0] for image in images]
+
+
+@pytest.fixture(scope="module")
+def shared_pool(serving_profile):
+    """One 1-worker pool reused by the controller tests in this file."""
+    pool = ServingPool(serving_profile, workers=1, max_batch=4,
+                      max_wait_ms=0.0)
+    yield pool
+    pool.shutdown()
+
+
+def assert_verdict_bytes(verdict: dict, expected_row: np.ndarray) -> None:
+    """A JSON-round-tripped verdict must recover probs byte-identically."""
+    got = np.asarray(verdict["probs"], dtype=np.float64)
+    assert got.tobytes() == expected_row.tobytes()
+
+
+class TestCheckpointLedger:
+    def test_record_buffers_until_sync(self, tmp_path):
+        ledger = CheckpointLedger(tmp_path / "ledger.jsonl")
+        ledger.record("k1", "done", "a.npy")
+        assert ledger.should_skip("k1")  # in-memory view is immediate
+        assert (tmp_path / "ledger.jsonl").read_text() == ""
+        ledger.sync()
+        entries = read_jsonl(tmp_path / "ledger.jsonl")
+        assert [(e["key"], e["status"]) for e in entries] == [("k1", "done")]
+        ledger.close()
+
+    def test_replay_skips_terminal_counts_failures(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        first = CheckpointLedger(path)
+        first.record("done-key", "done", "a.npy")
+        first.record("flaky", "failed", "b.npy", error="boom")
+        first.record("flaky", "failed", "b.npy", error="boom")
+        first.record("poison", "quarantined", "c.npy", error="bad bytes")
+        first.close()
+
+        second = CheckpointLedger(path)
+        assert second.replayed_entries() == 4
+        assert second.should_skip("done-key")
+        assert second.should_skip("poison")
+        assert not second.should_skip("flaky")  # failed is not terminal
+        assert second.failures("flaky") == 2
+        assert second.status("never-seen") is None
+        second.close()
+
+    def test_torn_tail_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = CheckpointLedger(path)
+        ledger.record("whole", "done", "a.npy")
+        ledger.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "torn", "sta')  # crash mid-append
+
+        replayed = CheckpointLedger(path)
+        assert replayed.replayed_entries() == 1
+        assert replayed.should_skip("whole")
+        assert not replayed.should_skip("torn")
+        replayed.close()
+
+    def test_close_without_sync_discards_buffer(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = CheckpointLedger(path)
+        ledger.record("lost", "done", "a.npy")
+        ledger.close(sync=False)
+        assert read_jsonl(path) == []
+
+    def test_content_key_is_content_only(self, tmp_path):
+        assert content_key(b"same bytes") == content_key(b"same bytes")
+        assert content_key(b"same bytes") != content_key(b"other bytes")
+
+
+class TestSinks:
+    VERDICT = {"path": "/w/a.npy", "serial": "a", "key": "k" * 64,
+               "label": 1, "confidence": 0.75, "probs": [0.25, 0.75]}
+
+    def test_jsonl_buffers_until_flush(self, tmp_path):
+        out = tmp_path / "v.jsonl"
+        sink = JsonlSink(str(out))
+        sink.write(self.VERDICT)
+        assert out.read_text() == ""
+        sink.flush()
+        assert read_jsonl(out) == [self.VERDICT]
+        sink.close()
+
+    def test_jsonl_close_without_flush_discards(self, tmp_path):
+        out = tmp_path / "v.jsonl"
+        sink = JsonlSink(str(out))
+        sink.write(self.VERDICT)
+        sink.close(flush=False)
+        assert out.read_text() == ""
+
+    def test_csv_header_once_across_restarts(self, tmp_path):
+        out = tmp_path / "report.csv"
+        first = CsvSink(str(out))
+        first.write(self.VERDICT)
+        first.close()
+        second = CsvSink(str(out))
+        second.write(dict(self.VERDICT, serial="b"))
+        second.close()
+        lines = out.read_text().splitlines()
+        assert lines[0] == "serial,label,confidence,key,path"
+        assert len(lines) == 3
+        assert sum(1 for line in lines if line.startswith("serial,")) == 1
+
+    def test_move_sink_defers_until_flush(self, tmp_path):
+        watch = tmp_path / "watch"
+        bins = tmp_path / "bins"
+        watch.mkdir()
+        source = watch / "a.npy"
+        source.write_bytes(b"payload")
+        sink = MoveSink(str(bins))
+        sink.write(dict(self.VERDICT, path=str(source)))
+        assert source.exists()  # nothing moves before the commit
+        sink.flush()
+        assert not source.exists()
+        assert (bins / "label_1" / "a.npy").read_bytes() == b"payload"
+        # Replaying the same verdict after a crash is a no-op.
+        sink.write(dict(self.VERDICT, path=str(source)))
+        sink.flush()
+        assert (bins / "label_1" / "a.npy").exists()
+
+    def test_parse_sink_spec(self, tmp_path):
+        assert isinstance(parse_sink_spec(f"jsonl:{tmp_path}/v.jsonl"),
+                          JsonlSink)
+        assert isinstance(parse_sink_spec(f"csv:{tmp_path}/r.csv"), CsvSink)
+        assert isinstance(parse_sink_spec(f"move:{tmp_path}/bins"), MoveSink)
+        for bad in ("jsonl", "jsonl:", "s3:bucket", "plainpath"):
+            with pytest.raises(ValueError, match="jsonl:PATH"):
+                parse_sink_spec(bad)
+
+
+class TestWatchSource:
+    def test_stability_window_defers_half_written_files(self, tmp_path):
+        source = WatchSource(tmp_path, stable_polls=2, use_inotify=False)
+        path = tmp_path / "frame.npy"
+        path.write_bytes(b"part")
+        assert source.poll() == []          # first observation
+        path.write_bytes(b"partial-more")   # still being written
+        assert source.poll() == []          # signature changed: reset
+        assert source.has_pending()
+        assert source.poll() == [path]      # two stable polls: report
+        assert source.poll() == []          # never re-reported
+        assert not source.has_pending()
+
+    def test_changed_content_is_rediscovered(self, tmp_path):
+        source = WatchSource(tmp_path, stable_polls=1, use_inotify=False)
+        path = tmp_path / "frame.npy"
+        path.write_bytes(b"v1")
+        assert source.poll() == [path]
+        path.write_bytes(b"longer-v2")      # new signature
+        assert source.poll() == [path]
+
+    def test_filters_dotfiles_subdirs_and_suffixes(self, tmp_path):
+        (tmp_path / ".hidden.npy").write_bytes(b"x")
+        (tmp_path / "notes.txt").write_bytes(b"x")
+        (tmp_path / ".ingest").mkdir()
+        (tmp_path / ".ingest" / "ledger.jsonl").write_bytes(b"x")
+        keep = tmp_path / "frame.npy"
+        keep.write_bytes(b"x")
+        source = WatchSource(tmp_path, stable_polls=1, use_inotify=False)
+        assert source.poll() == [keep]
+
+    def test_forget_re_reports(self, tmp_path):
+        source = WatchSource(tmp_path, stable_polls=1, use_inotify=False)
+        path = tmp_path / "frame.npy"
+        path.write_bytes(b"x")
+        assert source.poll() == [path]
+        source.forget(path)
+        assert source.poll() == [path]
+
+    def test_missing_root_is_a_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            WatchSource(tmp_path / "nope", use_inotify=False)
+
+
+class TestConfigAndProtocol:
+    @pytest.mark.parametrize("field,value", [
+        ("ingest_poll_interval_s", 0),
+        ("ingest_stable_polls", 0),
+        ("ingest_max_in_flight", 0),
+        ("ingest_max_failures", 0),
+        ("ingest_commit_lines", 0),
+        ("ingest_commit_interval_s", 0),
+        ("ingest_suffixes", ()),
+        ("ingest_suffixes", ("npy",)),
+    ])
+    def test_ingest_knobs_validate(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            ServingConfig(**{field: value})
+
+    def test_retry_after_only_for_503(self):
+        assert retry_after_for(503) == 5
+        for status in (200, 400, 404, 413, 500, 504):
+            assert retry_after_for(status) is None
+
+    def test_health_payload_ingest_key_is_optional(self):
+        health = PoolHealth(workers=[], pending_requests=0,
+                            respawns_left=2, failure=None)
+        assert "ingest" not in health_payload(health, False)
+        stats = {"processed": 3, "in_flight": 1}
+        assert health_payload(health, False, ingest=stats)["ingest"] == stats
+
+
+class TestRecordJson:
+    @pytest.fixture()
+    def bench_common(self, tmp_path, monkeypatch):
+        path = Path(__file__).parent.parent / "benchmarks" / "_common.py"
+        spec = importlib.util.spec_from_file_location(
+            "_bench_common_under_test", path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        monkeypatch.setattr(module, "RESULTS_DIR", tmp_path)
+        return module
+
+    def test_outside_checkout_omits_git_sha(self, bench_common, tmp_path,
+                                            monkeypatch):
+        monkeypatch.setattr(bench_common, "_GIT_SHA", "unknown")
+        bench_common.record_json("soak", files_per_sec=12.5)
+        (record,) = read_jsonl(tmp_path / "bench.json")
+        assert "git_sha" not in record
+        assert record["files_per_sec"] == 12.5
+        # The ISO timestamp must parse and carry an explicit UTC offset.
+        stamp = datetime.fromisoformat(record["ts"])
+        assert stamp.tzinfo is not None
+
+    def test_inside_checkout_keeps_git_sha(self, bench_common, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setattr(bench_common, "_GIT_SHA", "abc1234")
+        bench_common.record_json("soak")
+        (record,) = read_jsonl(tmp_path / "bench.json")
+        assert record["git_sha"] == "abc1234"
+        assert "ts" in record
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_verdicts_byte_identical_for_pool_sizes(
+        self, serving_profile, images, expected_rows, tmp_path, workers
+    ):
+        """Acceptance: watch-folder verdicts equal single-process predict
+        for pool sizes {1, 2, 4}."""
+        watch = tmp_path / "watch"
+        watch.mkdir()
+        out = tmp_path / "verdicts.jsonl"
+        paths = [drop(watch, f"img_{i:02d}.npy", image)
+                 for i, image in enumerate(images[:5])]
+        with ServingPool(serving_profile, workers=workers, max_batch=4,
+                         max_wait_ms=0.0) as pool:
+            controller = start_ingest(
+                pool, watch, [JsonlSink(str(out))], once=True, **FAST
+            )
+            assert controller.wait_idle(timeout=60.0)
+            controller.stop()
+        verdicts = {v["serial"]: v for v in read_jsonl(out)}
+        assert sorted(verdicts) == sorted(p.stem for p in paths)
+        for i, path in enumerate(paths):
+            verdict = verdicts[path.stem]
+            assert verdict["key"] == content_key(path.read_bytes())
+            assert_verdict_bytes(verdict, expected_rows[i])
+
+    def test_crash_at_commit_boundary_then_restart(
+        self, shared_pool, images, expected_rows, tmp_path
+    ):
+        """Satellite: a crash that loses the uncommitted tail must lose the
+        sink lines and ledger entries *together*, and a restart on the same
+        ledger re-processes exactly the lost files — no dup, no missing."""
+        watch = tmp_path / "watch"
+        watch.mkdir()
+        out = tmp_path / "verdicts.jsonl"
+        ledger_path = tmp_path / "ledger.jsonl"
+        for i, image in enumerate(images):
+            drop(watch, f"img_{i:02d}.npy", image)
+
+        first = start_ingest(
+            shared_pool, watch, [JsonlSink(str(out))], ledger_path,
+            commit_lines=3, commit_interval_s=600.0, **FAST
+        )
+        assert first.wait_idle(timeout=60.0)
+        assert first.stats()["processed"] == 8
+        # Cooperative crash: drain, then discard every uncommitted buffer
+        # (what a SIGKILL leaves after the last commit).
+        first.stop(drain=True, flush=False)
+        # commit_lines=3 over 8 files commits at 3 and 6: exactly two
+        # verdicts and their ledger entries are lost, in lockstep.
+        assert len(read_jsonl(out)) == 6
+        assert len(read_jsonl(ledger_path)) == 6
+
+        second = start_ingest(
+            shared_pool, watch, [JsonlSink(str(out))], ledger_path, **FAST
+        )
+        assert second.wait_idle(timeout=60.0)
+        stats = second.stats()
+        second.stop()
+        assert stats["skipped"] == 6
+        assert stats["processed"] == 2
+
+        verdicts = read_jsonl(out)
+        serials = [v["serial"] for v in verdicts]
+        assert sorted(serials) == [f"img_{i:02d}" for i in range(8)]
+        assert len(set(serials)) == 8  # no duplicates
+        for verdict in verdicts:
+            index = int(verdict["serial"].split("_")[1])
+            assert_verdict_bytes(verdict, expected_rows[index])
+
+    def test_hard_kill_mid_flight_then_restart(
+        self, shared_pool, images, expected_rows, tmp_path
+    ):
+        """Satellite: kill with files in flight (no drain), restart on the
+        same ledger — still no duplicate and no missing verdicts."""
+        watch = tmp_path / "watch"
+        watch.mkdir()
+        out = tmp_path / "verdicts.jsonl"
+        ledger_path = tmp_path / "ledger.jsonl"
+        for i, image in enumerate(images):
+            drop(watch, f"img_{i:02d}.npy", image)
+
+        first = start_ingest(
+            shared_pool, watch, [JsonlSink(str(out))], ledger_path,
+            commit_lines=3, commit_interval_s=600.0, **FAST
+        )
+        assert wait_until(lambda: first.stats()["processed"] >= 2)
+        first.stop(drain=False, flush=False)  # abandon in-flight work
+        assert len(read_jsonl(out)) < 8  # the crash really lost verdicts
+        assert len(read_jsonl(out)) == len(read_jsonl(ledger_path))
+
+        second = start_ingest(
+            shared_pool, watch, [JsonlSink(str(out))], ledger_path, **FAST
+        )
+        assert second.wait_idle(timeout=60.0)
+        second.stop()
+        serials = [v["serial"] for v in read_jsonl(out)]
+        assert sorted(serials) == [f"img_{i:02d}" for i in range(8)]
+        for verdict in read_jsonl(out):
+            index = int(verdict["serial"].split("_")[1])
+            assert_verdict_bytes(verdict, expected_rows[index])
+
+    def test_poison_files_quarantined_good_files_served(
+        self, shared_pool, images, expected_rows, tmp_path
+    ):
+        watch = tmp_path / "watch"
+        watch.mkdir()
+        out = tmp_path / "verdicts.jsonl"
+        good = drop(watch, "good.npy", images[0])
+        undecodable = watch / "garbage.npy"
+        undecodable.write_bytes(b"this is not an npy file")
+        wrong_shape = drop(watch, "vector.npy", np.arange(5.0))
+
+        controller = start_ingest(
+            shared_pool, watch, [JsonlSink(str(out))],
+            tmp_path / "ledger.jsonl", max_failures=2, **FAST
+        )
+        assert wait_until(
+            lambda: controller.stats()["quarantined"] == 2
+            and controller.stats()["processed"] == 1
+        )
+        stats = controller.stats()
+        controller.stop()
+        assert stats["failed"] >= 4  # two attempts per poison file
+        quarantine = watch / ".ingest" / "quarantine"
+        assert sorted(p.name for p in quarantine.iterdir()) == [
+            "garbage.npy", "vector.npy",
+        ]
+        assert not undecodable.exists() and not wrong_shape.exists()
+        assert good.exists()
+        (verdict,) = read_jsonl(out)
+        assert verdict["serial"] == "good"
+        assert_verdict_bytes(verdict, expected_rows[0])
+        # Terminal ledger entries: neither poison key re-enters the loop.
+        assert controller.ledger.should_skip(
+            content_key(b"this is not an npy file")
+        )
+
+    def test_move_sink_routes_and_dedupes_with_ledger(
+        self, shared_pool, images, tmp_path
+    ):
+        watch = tmp_path / "watch"
+        bins = tmp_path / "bins"
+        watch.mkdir()
+        out = tmp_path / "verdicts.jsonl"
+        for i, image in enumerate(images[:3]):
+            drop(watch, f"img_{i:02d}.npy", image)
+        controller = start_ingest(
+            shared_pool, watch,
+            [JsonlSink(str(out)), MoveSink(str(bins))],
+            tmp_path / "ledger.jsonl", once=True, **FAST
+        )
+        assert controller.wait_idle(timeout=60.0)
+        controller.stop()
+        verdicts = read_jsonl(out)
+        assert len(verdicts) == 3
+        moved = sorted(p.name for label_dir in bins.iterdir()
+                       for p in label_dir.iterdir())
+        assert moved == ["img_00.npy", "img_01.npy", "img_02.npy"]
+        assert list(watch.glob("*.npy")) == []  # watch folder stays clean
+
+    def test_observability_wiring(self, shared_pool, images, tmp_path):
+        """Counters flow through pool.ingest_stats into the shared
+        health/profile payload builders both HTTP fronts use."""
+        watch = tmp_path / "watch"
+        watch.mkdir()
+        drop(watch, "img.npy", images[0])
+        controller = start_ingest(
+            shared_pool, watch, [JsonlSink("-")],
+            tmp_path / "ledger.jsonl", **FAST
+        )
+        assert wait_until(lambda: controller.stats()["processed"] == 1)
+        stats = shared_pool.ingest_stats()
+        assert stats["processed"] == 1
+        assert stats["watch_dir"] == str(watch)
+        assert stats["failure"] is None
+        payload = health_payload(shared_pool.health(), False,
+                                 ingest=shared_pool.ingest_stats())
+        assert payload["ingest"]["processed"] == 1
+        summary = shared_pool.profile_summary()
+        assert summary["ingest"]["watch_dir"] == str(watch)
+        assert summary["ingest"]["sinks"] == ["jsonl:-"]
+        assert summary["ingest"]["ledger"] == str(tmp_path / "ledger.jsonl")
+        controller.stop()
+        assert shared_pool.ingest_stats()["running"] is False
+
+
+class TestCli:
+    def test_watch_once_end_to_end(self, serving_profile, images,
+                                   expected_rows, tmp_path, capsys):
+        watch = tmp_path / "watch"
+        watch.mkdir()
+        out = tmp_path / "verdicts.jsonl"
+        paths = [drop(watch, f"img_{i:02d}.npy", image)
+                 for i, image in enumerate(images[:3])]
+        code = cli_main([
+            "--profile", str(serving_profile), "--workers", "1",
+            "--watch", str(watch), "--sink", f"jsonl:{out}",
+            "--ledger", str(tmp_path / "ledger.jsonl"),
+            "--once", "--poll-interval-s", "0.05", "--quiet",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert f"watching {watch}" in captured.out
+        assert "ingest drained: 3 processed" in captured.err
+        verdicts = {v["serial"]: v for v in read_jsonl(out)}
+        assert sorted(verdicts) == sorted(p.stem for p in paths)
+        for i, path in enumerate(paths):
+            assert_verdict_bytes(verdicts[path.stem], expected_rows[i])
+
+    def test_bad_sink_spec_is_usage_error(self, serving_profile, tmp_path,
+                                          capsys):
+        watch = tmp_path / "watch"
+        watch.mkdir()
+        code = cli_main([
+            "--profile", str(serving_profile),
+            "--watch", str(watch), "--sink", "s3:bucket", "--once",
+        ])
+        assert code == 2
+        assert "invalid sink spec" in capsys.readouterr().err
+
+    def test_missing_watch_dir_is_usage_error(self, serving_profile,
+                                              tmp_path, capsys):
+        code = cli_main([
+            "--profile", str(serving_profile),
+            "--watch", str(tmp_path / "nope"), "--once",
+        ])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_bad_ingest_knob_is_usage_error(self, serving_profile, tmp_path,
+                                            capsys):
+        watch = tmp_path / "watch"
+        watch.mkdir()
+        code = cli_main([
+            "--profile", str(serving_profile),
+            "--watch", str(watch), "--poll-interval-s", "0",
+        ])
+        assert code == 2
+        assert "ingest_poll_interval_s" in capsys.readouterr().err
