@@ -143,6 +143,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "high-concurrency choice). Responses are "
                              "byte-identical either way (default: "
                              "threaded)")
+    parser.add_argument("--ipc-transport", default=None,
+                        choices=("auto", "shm", "pickle"),
+                        help="how task/result payloads cross the "
+                             "parent-worker boundary: shm (zero-copy "
+                             "shared-memory slabs), pickle (reference "
+                             "lane), or auto — shm where the host "
+                             "supports it. Responses are byte-identical "
+                             "either way (default: auto, or the "
+                             "REPRO_SERVING_IPC environment variable)")
     parser.add_argument("--engine-backend", default=None,
                         help="override the match engine's array backend "
                              "(e.g. numpy, torch, cupy; requires the "
@@ -338,6 +347,8 @@ def main(argv: list[str] | None = None, stdout=None) -> int:
             overrides["http_port"] = port
         if args.http_backend is not None:
             overrides["http_backend"] = args.http_backend
+        if args.ipc_transport is not None:
+            overrides["ipc_transport"] = args.ipc_transport
         if args.max_request_bytes is not None:
             overrides["max_request_bytes"] = args.max_request_bytes
         if args.request_timeout_s is not None:

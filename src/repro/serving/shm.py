@@ -1,0 +1,585 @@
+"""Zero-copy shared-memory IPC for the serving pool.
+
+The pickle lane moves every task across the process boundary twice: the
+dispatcher pickles each micro-batch's image arrays into a
+``multiprocessing.Queue`` and the worker pickles the ``(n, n_patterns)``
+feature matrix back.  Both copies scale linearly with frame size.  This
+module deletes them: image bytes live in POSIX shared memory ("slabs"),
+queues carry only fixed-size descriptors, and the worker maps the same
+pages the parent wrote.
+
+Design
+------
+
+* **Parent-owned segments.**  Only the parent process ever *creates* a
+  segment: :class:`ShmArena` allocates both the task slab (packed image
+  bytes) and the result slab (where the worker writes feature rows) at
+  dispatch time.  Workers attach, read, write, and detach — they never
+  own anything, so a crashed worker cannot leak a segment.  Reclamation
+  is therefore always a parent-side decision, which is what lets leases
+  integrate with the supervision machinery (respawn resubmission keeps
+  the lease alive; terminal failure and shutdown unlink everything).
+
+* **Refcounted slabs.**  A slab starts at refcount 1 (the allocator's
+  reference).  A dispatched task *retains* every slab its descriptors
+  point into plus its result slab; an HTTP request that decoded straight
+  into a slab holds its own reference until the response settles.  The
+  segment is closed+unlinked when the count hits zero, so a request slab
+  shared by several in-flight tasks survives exactly as long as the last
+  reader needs it.
+
+* **Descriptors, not bytes, on the queues.**  A shm task payload is
+  ``("shm", [(segment, offset, shape, dtype), ...], (segment, shape))``
+  — image views plus the result slab.  The worker answers
+  ``("rows", worker_id, task_id, ("shm",))`` after writing rows in
+  place; the parent reads them through its own mapping.  Control
+  messages (``ready``/``ping``/``stop``/``error``) are untouched, so the
+  crash-safety topology (per-worker queues, EOF wakeups, respawn
+  resubmission) is identical under both transports.
+
+* **Warm-segment pooling.**  The first write to a freshly created POSIX
+  segment pays a zero-fill page fault per 4 KiB — for 256×256 float64
+  micro-batches that costs ~8× the memcpy itself, enough to erase the
+  zero-copy win.  So a slab whose refcount hits zero is *parked* in a
+  bounded, size-classed free list and handed back warm by the next
+  same-class ``allocate``; names recur, so workers keep their mappings
+  in a :class:`SegmentCache` and the steady-state hot path touches no
+  new pages, creates no segments, and makes no resource-tracker round
+  trips.  Pooled slabs are idle capacity, not leaks: they never appear
+  in :meth:`ShmArena.live_segments`, and anything beyond the pool bound
+  is destroyed on the spot.
+
+* **Destroy = unlink + close-best-effort.**  When a slab actually dies
+  (pool overflow, ``release_all`` on shutdown/terminal failure/unwind),
+  ``unlink`` removes the name from ``/dev/shm`` immediately (this is
+  what the leak tests and the resource tracker observe); the mapping
+  itself lives until the last exported ndarray view dies, which is
+  exactly the lifetime the views need.  ``close`` failing with
+  :class:`BufferError` while a view is still alive is therefore not an
+  error — the memory is freed when the view goes away.  After
+  ``release_all`` nothing of the arena — live or pooled — remains in
+  ``/dev/shm``.
+
+Resource-tracker accounting: Python 3.12 and earlier register *attached*
+segments too (bpo-39959), but the serving workers are always children of
+the pool parent and therefore share the parent's tracker process, where
+registration is a set — the worker's attach-side register is a no-op on
+the entry the parent's create made, and the parent's unlink unregisters
+it exactly once.  Net effect: a pool that releases its arena leaves the
+tracker cache empty (no "leaked shared_memory" warning at exit), and a
+pool that is simply dropped without ``shutdown()`` still gets its
+segments unlinked by the tracker — with the warning, which is then a
+*true* leak report and is treated as a test failure.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "ShmError",
+    "ShmArena",
+    "Slab",
+    "TaskLease",
+    "RequestLease",
+    "request_lease",
+    "lease_task",
+    "attach",
+    "close_segments",
+    "open_task",
+    "SegmentCache",
+    "shm_supported",
+    "resolve_ipc_transport",
+    "SEGMENT_PREFIX",
+]
+
+#: Every segment name starts with this, so tests (and humans) can audit
+#: ``/dev/shm`` for leaks with a single glob.
+SEGMENT_PREFIX = "igshm"
+
+_ALIGN = 64  # cache-line alignment for packed image offsets
+
+#: Warm-segment pool bounds: total parked bytes per arena, and parked
+#: segments per size class.  Beyond either, a dying slab is destroyed.
+_POOL_MAX_BYTES = 64 * 1024 * 1024
+_POOL_MAX_PER_CLASS = 32
+
+_PAGE = 4096
+
+
+class ShmError(RuntimeError):
+    """Shared-memory transport failure (allocation, probe, attach)."""
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _size_class(nbytes: int) -> int:
+    """Round a request up to a power-of-two page multiple so reuse hits."""
+    size = _PAGE
+    nbytes = max(int(nbytes), 1)
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+def _base_address(seg: shared_memory.SharedMemory) -> int:
+    # The throwaway frombuffer view releases its buffer export as soon
+    # as it is garbage collected, so this does not pin the mapping.
+    return np.frombuffer(seg.buf, dtype=np.uint8).__array_interface__["data"][0]
+
+
+class Slab:
+    """One refcounted shared-memory segment, owned by a parent arena."""
+
+    __slots__ = ("name", "size", "base", "_seg", "_arena", "refs", "_dead")
+
+    def __init__(self, arena: "ShmArena", seg: shared_memory.SharedMemory) -> None:
+        self._arena = arena
+        self._seg = seg
+        self.name = seg.name
+        self.size = seg.size
+        self.base = _base_address(seg)
+        self.refs = 1
+        self._dead = False
+
+    @property
+    def buf(self) -> memoryview:
+        return self._seg.buf
+
+    def retain(self) -> "Slab":
+        self._arena._retain(self)
+        return self
+
+    def release(self) -> None:
+        self._arena._release(self)
+
+    def _destroy(self) -> None:
+        """Unlink the segment; close the mapping if no views pin it."""
+        if self._dead:
+            return
+        self._dead = True
+        try:
+            self._seg.close()
+        except BufferError:
+            # An ndarray view still points into the mapping.  The pages
+            # stay alive until the view dies; unlinking the name below
+            # is what reclaims the segment.
+            pass
+        try:
+            self._seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class ShmArena:
+    """Parent-side slab allocator with refcounted, leased segments.
+
+    One arena per :class:`~repro.serving.pool.ServingPool`.  Thread-safe:
+    the HTTP fronts allocate request slabs from handler threads while the
+    dispatch thread allocates task/result slabs and the collect thread
+    releases leases.
+    """
+
+    def __init__(self, tag: str | None = None) -> None:
+        if tag is None:
+            tag = f"{os.getpid():x}-{os.urandom(3).hex()}"
+        self._tag = f"{SEGMENT_PREFIX}-{tag}"
+        self._lock = threading.Lock()
+        self._slabs: dict[str, Slab] = {}
+        self._free: dict[int, list[Slab]] = {}
+        self._free_bytes = 0
+        self._counter = 0
+        self._closed = False
+
+    # -- allocation ----------------------------------------------------
+
+    def allocate(self, nbytes: int) -> Slab:
+        """A refcount-1 slab of at least ``nbytes`` bytes — a warm one
+        from the pool when the size class has one parked, else fresh."""
+        size = _size_class(nbytes)
+        with self._lock:
+            if self._closed:
+                raise ShmError("arena is closed")
+            bucket = self._free.get(size)
+            if bucket:
+                slab = bucket.pop()
+                self._free_bytes -= slab.size
+                slab.refs = 1
+                self._slabs[slab.name] = slab
+                return slab
+            self._counter += 1
+            name = f"{self._tag}-{self._counter}"
+        try:
+            seg = shared_memory.SharedMemory(name=name, create=True, size=size)
+        except OSError as exc:
+            raise ShmError(f"shared-memory allocation of {nbytes} bytes failed: {exc}") from exc
+        slab = Slab(self, seg)
+        with self._lock:
+            if self._closed:
+                slab._destroy()
+                raise ShmError("arena is closed")
+            self._slabs[name] = slab
+        return slab
+
+    # -- refcounting ---------------------------------------------------
+
+    def _retain(self, slab: Slab) -> None:
+        with self._lock:
+            slab.refs += 1
+
+    def _release(self, slab: Slab) -> None:
+        with self._lock:
+            slab.refs -= 1
+            if slab.refs > 0 or slab._dead:
+                return
+            self._slabs.pop(slab.name, None)
+            if (
+                not self._closed
+                and self._free_bytes + slab.size <= _POOL_MAX_BYTES
+                and len(self._free.setdefault(slab.size, [])) < _POOL_MAX_PER_CLASS
+            ):
+                self._free[slab.size].append(slab)
+                self._free_bytes += slab.size
+                return
+        slab._destroy()
+
+    # -- zero-copy residency lookup ------------------------------------
+
+    def locate(self, array: np.ndarray) -> tuple[Slab, int] | None:
+        """If ``array``'s bytes already live in one of this arena's slabs,
+        retain that slab and return ``(slab, offset)``; else ``None``.
+
+        This is what makes the HTTP decode-into-slab path zero-copy end
+        to end: the dispatcher finds the request's images already
+        resident and ships descriptors instead of re-packing.
+        """
+        if not isinstance(array, np.ndarray) or not array.flags["C_CONTIGUOUS"]:
+            return None
+        ptr = int(array.__array_interface__["data"][0])
+        end = ptr + array.nbytes
+        with self._lock:
+            for slab in self._slabs.values():
+                if not slab._dead and slab.base <= ptr and end <= slab.base + slab.size:
+                    slab.refs += 1
+                    return slab, ptr - slab.base
+        return None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def live_segments(self) -> list[str]:
+        """Names of *referenced* segments (diagnostics and tests).
+
+        Pooled (zero-refcount, parked-warm) segments are excluded: they
+        are reclaimable capacity, not outstanding leases.
+        """
+        with self._lock:
+            return sorted(self._slabs)
+
+    def pooled_segments(self) -> list[str]:
+        """Names of parked warm segments awaiting reuse (diagnostics)."""
+        with self._lock:
+            return sorted(s.name for b in self._free.values() for s in b)
+
+    def release_all(self) -> None:
+        """Unlink every segment — live or pooled — regardless of
+        refcount.  Idempotent.
+
+        Called on pool shutdown, terminal pool failure, and construction
+        unwind — after this, nothing of the arena remains in /dev/shm.
+        """
+        with self._lock:
+            self._closed = True
+            doomed = list(self._slabs.values())
+            self._slabs.clear()
+            for bucket in self._free.values():
+                doomed.extend(bucket)
+            self._free.clear()
+            self._free_bytes = 0
+        for slab in doomed:
+            slab._destroy()
+
+
+class TaskLease:
+    """The slabs one dispatched task pins: its image slabs + result slab.
+
+    Held on the in-flight ``_Task`` so the lease survives worker death
+    and respawn resubmission (same descriptors are resent); released by
+    the collect thread once rows are scattered or the task errors.
+    """
+
+    __slots__ = ("_slabs", "_result", "result_shape")
+
+    def __init__(self, slabs: list[Slab], result: Slab, result_shape: tuple[int, int]) -> None:
+        self._slabs = slabs
+        self._result = result
+        self.result_shape = result_shape
+
+    def result_rows(self) -> np.ndarray:
+        """The worker-written feature rows, via the parent's own mapping.
+
+        Returns a *copy*: the scatter path hands row slices to request
+        buffers and the labeler, and copying here lets the lease release
+        (and the segment fully reclaim) without exported-view hazards.
+        """
+        view = np.ndarray(self.result_shape, dtype=np.float64, buffer=self._result.buf)
+        return view.copy()
+
+    def release(self) -> None:
+        slabs, self._slabs = self._slabs, []
+        for slab in slabs:
+            slab.release()
+
+
+class RequestLease:
+    """Decode-side lease: slabs backing one wire request's images.
+
+    The HTTP fronts create one per ``/v1/label`` request and hand it to
+    :func:`repro.serving.protocol.decode_image`, which decodes straight
+    into a slab-backed float64 buffer (skipping the base64 → ndarray →
+    pickle double copy).  Released when the response settles; in-flight
+    tasks keep their own retains, so early release is always safe.
+    """
+
+    __slots__ = ("_arena", "_slabs")
+
+    def __init__(self, arena: ShmArena) -> None:
+        self._arena = arena
+        self._slabs: list[Slab] = []
+
+    def new_buffer(self, shape: tuple[int, ...]) -> np.ndarray | None:
+        """A float64 C-order ndarray backed by a fresh slab, or ``None``
+        when allocation fails (callers fall back to a heap array)."""
+        nbytes = int(np.prod(shape, dtype=np.int64)) * 8
+        try:
+            slab = self._arena.allocate(nbytes)
+        except ShmError:
+            return None
+        self._slabs.append(slab)
+        return np.ndarray(shape, dtype=np.float64, buffer=slab.buf)
+
+    def release(self) -> None:
+        slabs, self._slabs = self._slabs, []
+        for slab in slabs:
+            slab.release()
+
+
+def request_lease(pool) -> RequestLease | None:
+    """A fresh decode lease on ``pool``'s arena, or ``None`` on pickle.
+
+    The one call both HTTP fronts make per ``/v1/label`` request; keeping
+    the transport check here means the fronts never branch on it.
+    """
+    arena = pool.request_arena()
+    return None if arena is None else RequestLease(arena)
+
+
+def lease_task(
+    arena: ShmArena, images: list[np.ndarray], n_patterns: int
+) -> tuple[TaskLease, tuple]:
+    """Build the shm payload for one task: descriptors + result slab.
+
+    Images already resident in an arena slab (HTTP decode-into-slab) are
+    referenced in place; the rest are packed, 64-byte aligned, into one
+    fresh task slab.  Raises :class:`ShmError` if allocation fails — the
+    dispatcher falls back to the pickle payload for that task.
+    """
+    descs: list[tuple[str, int, tuple[int, ...], str] | None] = [None] * len(images)
+    retained: dict[str, Slab] = {}
+    pack_items: list[tuple[int, np.ndarray]] = []
+    pack_bytes = 0
+    result = None
+    try:
+        for idx, image in enumerate(images):
+            found = arena.locate(image)  # retains on hit
+            if found is not None:
+                slab, offset = found
+                if slab.name in retained:
+                    slab.release()  # one retain per slab per task
+                else:
+                    retained[slab.name] = slab
+                descs[idx] = (slab.name, offset, image.shape, str(image.dtype))
+            else:
+                pack_items.append((idx, image))
+                pack_bytes += _aligned(image.nbytes)
+        if pack_items:
+            pack = arena.allocate(pack_bytes)
+            retained[pack.name] = pack
+            cursor = 0
+            for idx, image in pack_items:
+                view = np.ndarray(image.shape, dtype=image.dtype, buffer=pack.buf, offset=cursor)
+                np.copyto(view, image, casting="no")
+                descs[idx] = (pack.name, cursor, image.shape, str(image.dtype))
+                cursor += _aligned(image.nbytes)
+            del view
+        result_shape = (len(images), int(n_patterns))
+        result = arena.allocate(result_shape[0] * result_shape[1] * 8)
+    except BaseException:
+        for slab in retained.values():
+            slab.release()
+        if result is not None:
+            result.release()
+        raise
+    lease = TaskLease([*retained.values(), result], result, result_shape)
+    payload = ("shm", descs, (result.name, result_shape))
+    return lease, payload
+
+
+# ---------------------------------------------------------------------------
+# Worker side: attach-only, never create, never unlink.
+# ---------------------------------------------------------------------------
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without adopting ownership.
+
+    The attach-side resource-tracker registration (bpo-39959) is benign
+    here: workers share the parent's tracker process, so it re-adds the
+    set entry the parent's create already made, and the parent's unlink
+    removes it exactly once.  See the module docstring.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, create=False)
+    except (OSError, ValueError) as exc:
+        raise ShmError(f"cannot attach shared-memory segment {name!r}: {exc}") from exc
+
+
+def _close_quietly(seg: shared_memory.SharedMemory) -> None:
+    try:
+        seg.close()
+    except BufferError:  # pragma: no cover - a view outlived the task
+        pass
+
+
+def close_segments(segments: dict[str, shared_memory.SharedMemory]) -> None:
+    """Detach a task's mappings; tolerate still-exported views."""
+    for seg in segments.values():
+        _close_quietly(seg)
+    segments.clear()
+
+
+class SegmentCache:
+    """Worker-side LRU cache of attached parent segments.
+
+    The parent arena recycles warm segments, so the same names recur
+    task after task; caching the mapping makes every re-attach free
+    (no ``shm_open``/``mmap``, no page-table rebuild).  The cache never
+    *owns* a segment — it only closes mappings, never unlinks — so it
+    cannot leak anything the parent's lease bookkeeping tracks.  An
+    entry whose segment the parent has since destroyed is harmless: its
+    name can never recur (allocation names are one-shot counters), so it
+    just ages out of the LRU.
+    """
+
+    __slots__ = ("_entries", "_max")
+
+    def __init__(self, max_entries: int = 64) -> None:
+        self._entries: dict[str, shared_memory.SharedMemory] = {}
+        self._max = max_entries
+
+    def attach(self, name: str) -> shared_memory.SharedMemory:
+        seg = self._entries.pop(name, None)
+        if seg is None:
+            seg = attach(name)
+        self._entries[name] = seg  # re-insert = most recently used
+        while len(self._entries) > self._max:
+            stale = next(iter(self._entries))
+            _close_quietly(self._entries.pop(stale))
+        return seg
+
+    def close(self) -> None:
+        entries, self._entries = self._entries, {}
+        for seg in entries.values():
+            _close_quietly(seg)
+
+
+def open_task(
+    payload: tuple, cache: SegmentCache | None = None
+) -> tuple[list[np.ndarray], np.ndarray, dict]:
+    """Map a shm task payload into (read-only image views, result view).
+
+    Returns ``(images, result_view, segments)``; the caller must drop
+    every view and then :func:`close_segments` when the task is done.
+    With a ``cache``, mappings are borrowed from (and stay in) the cache
+    instead — the returned ``segments`` dict is empty and closing is the
+    cache's business.
+    """
+    _, descs, (result_name, result_shape) = payload
+    segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def _get(name: str) -> shared_memory.SharedMemory:
+        seg = segments.get(name)
+        if seg is None:
+            seg = segments[name] = (
+                cache.attach(name) if cache is not None else attach(name)
+            )
+        return seg
+
+    try:
+        images: list[np.ndarray] = []
+        for name, offset, shape, dtype in descs:
+            seg = _get(name)
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf, offset=offset)
+            view.flags.writeable = False
+            images.append(view)
+        result_view = np.ndarray(
+            result_shape, dtype=np.float64, buffer=_get(result_name).buf
+        )
+        return images, result_view, {} if cache is not None else segments
+    except BaseException:
+        if cache is None:
+            close_segments(segments)
+        raise
+
+
+# ---------------------------------------------------------------------------
+# Platform probe + transport resolution.
+# ---------------------------------------------------------------------------
+
+_SUPPORTED: bool | None = None
+
+
+def shm_supported() -> bool:
+    """Whether POSIX shared memory round-trips on this host (cached)."""
+    global _SUPPORTED
+    if _SUPPORTED is None:
+        try:
+            seg = shared_memory.SharedMemory(create=True, size=_ALIGN)
+            try:
+                seg.buf[0] = 1
+                peer = shared_memory.SharedMemory(name=seg.name, create=False)
+                ok = peer.buf[0] == 1
+                peer.close()
+            finally:
+                seg.close()
+                seg.unlink()
+            _SUPPORTED = bool(ok)
+        except Exception:
+            _SUPPORTED = False
+    return _SUPPORTED
+
+
+def resolve_ipc_transport(requested: str) -> str:
+    """Resolve the configured ``ipc_transport`` to a concrete lane.
+
+    ``auto`` probes the host and picks ``shm`` where supported, falling
+    back to ``pickle``.  An explicit ``shm`` on a host without working
+    shared memory is a configuration error, not a silent downgrade.
+    """
+    if requested == "pickle":
+        return "pickle"
+    if requested == "shm":
+        if not shm_supported():
+            raise ValueError(
+                "ipc_transport='shm' requested but this host has no working "
+                "POSIX shared memory; use 'auto' or 'pickle'"
+            )
+        return "shm"
+    if requested == "auto":
+        return "shm" if shm_supported() else "pickle"
+    raise ValueError(f"unknown ipc_transport {requested!r}")

@@ -213,10 +213,12 @@ class TestSinks:
         assert (bins / "label_1" / "a.npy").exists()
 
     def test_parse_sink_spec(self, tmp_path):
-        assert isinstance(parse_sink_spec(f"jsonl:{tmp_path}/v.jsonl"),
-                          JsonlSink)
-        assert isinstance(parse_sink_spec(f"csv:{tmp_path}/r.csv"), CsvSink)
-        assert isinstance(parse_sink_spec(f"move:{tmp_path}/bins"), MoveSink)
+        for spec, kind in ((f"jsonl:{tmp_path}/v.jsonl", JsonlSink),
+                           (f"csv:{tmp_path}/r.csv", CsvSink),
+                           (f"move:{tmp_path}/bins", MoveSink)):
+            sink = parse_sink_spec(spec)
+            assert isinstance(sink, kind)
+            sink.close(flush=False)  # jsonl/csv sinks hold an open file
         for bad in ("jsonl", "jsonl:", "s3:bucket", "plainpath"):
             with pytest.raises(ValueError, match="jsonl:PATH"):
                 parse_sink_spec(bad)

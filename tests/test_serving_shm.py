@@ -1,0 +1,430 @@
+"""Tests for the zero-copy shared-memory IPC transport.
+
+What must hold, beyond "it serves":
+
+1. **Byte-identity per transport** — for workers ∈ {1, 2, 4} and both
+   transports, pool output equals single-process ``predict`` bit for
+   bit.  The transport moves bytes; it never regroups computation.
+2. **No leaked segments** — after drain, shutdown, worker crash +
+   respawn with in-flight leases, and terminal pool failure, the arena
+   reports zero live segments and ``/dev/shm`` holds nothing with the
+   ``igshm`` prefix.  (CI additionally runs these suites with Python
+   warnings-as-errors, so a resource-tracker "leaked shared_memory"
+   report at interpreter exit fails the build.)
+3. **Graceful degradation** — shm allocation failure downgrades a task
+   to the pickle lane instead of failing the request; a decode lease
+   that cannot allocate hands back a plain heap array.
+
+Pools spawn real processes, so this file costs tens of seconds; it runs
+with the serving suites in CI's serving-smoke job, once per transport.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import ServingConfig
+from repro.core.pipeline import InspectorGadget
+from repro.serving import ServingError, ServingPool
+from repro.serving.protocol import decode_image, encode_image
+from repro.serving.shm import (
+    RequestLease,
+    SEGMENT_PREFIX,
+    ShmArena,
+    ShmError,
+    lease_task,
+    open_task,
+    close_segments,
+    resolve_ipc_transport,
+    shm_supported,
+)
+
+needs_shm = pytest.mark.skipif(
+    not shm_supported(), reason="host has no working POSIX shared memory"
+)
+
+
+@pytest.fixture(scope="module")
+def baseline(serving_profile):
+    """The single-process reference every pool response must match."""
+    return InspectorGadget.load(serving_profile)
+
+
+@pytest.fixture(scope="module")
+def images(tiny_ksdd):
+    return [item.image for item in tiny_ksdd.images[:8]]
+
+
+def assert_no_leaked_segments() -> None:
+    """No ``igshm-*`` names left in /dev/shm (POSIX shm's directory)."""
+    if os.path.isdir("/dev/shm"):
+        leaked = glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-*")
+        assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+
+def await_no_live(pool, timeout: float = 5.0) -> None:
+    """Wait for in-flight lease releases to land, then assert empty."""
+    arena = pool._shm_arena
+    deadline = time.monotonic() + timeout
+    while arena.live_segments() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert arena.live_segments() == []
+
+
+class TestArena:
+    def test_allocate_release_pools_then_release_all_unlinks(self):
+        arena = ShmArena()
+        slab = arena.allocate(1024)
+        name = slab.name
+        assert arena.live_segments() == [name]
+        slab.release()
+        # Zero-refcount slabs are parked warm (pages stay faulted-in),
+        # not unlinked: the next same-class allocate reuses the segment.
+        assert arena.live_segments() == []
+        assert arena.pooled_segments() == [name]
+        assert arena.allocate(512).name == name
+        assert arena.pooled_segments() == []
+        arena.release_all()
+        assert_no_leaked_segments()
+
+    def test_pool_is_bounded_per_size_class(self):
+        from repro.serving.shm import _POOL_MAX_PER_CLASS
+
+        arena = ShmArena()
+        n = _POOL_MAX_PER_CLASS + 4
+        slabs = [arena.allocate(4096) for _ in range(n)]
+        names = {s.name for s in slabs}
+        for s in slabs:
+            s.release()
+        assert arena.live_segments() == []
+        assert len(arena.pooled_segments()) == _POOL_MAX_PER_CLASS
+        # Everything parked is reused; the overflow was truly unlinked.
+        reused = {arena.allocate(4096).name for _ in range(n)}
+        assert len(reused & names) == _POOL_MAX_PER_CLASS
+        arena.release_all()
+        assert_no_leaked_segments()
+
+    def test_segment_cache_reuses_and_evicts_mappings(self):
+        from repro.serving.shm import SegmentCache
+
+        arena = ShmArena()
+        a, b = arena.allocate(64), arena.allocate(64)
+        cache = SegmentCache(max_entries=1)
+        seg = cache.attach(a.name)
+        assert cache.attach(a.name) is seg  # warm hit
+        cache.attach(b.name)  # evicts a's mapping (LRU bound of 1)
+        assert cache.attach(a.name) is not seg
+        cache.close()
+        arena.release_all()
+        assert_no_leaked_segments()
+
+    def test_task_roundtrip_reuses_pooled_slabs_through_cache(self):
+        """Steady state: pass 2 reuses pass 1's segments end to end —
+        same parent slabs out of the pool, same worker-side mappings."""
+        from repro.serving.shm import SegmentCache
+
+        arena = ShmArena()
+        cache = SegmentCache()
+        rng = np.random.default_rng(3)
+        seen: list[set[str]] = []
+        for value in (1.0, 2.0):
+            imgs = [rng.random((16, 16))]
+            lease, payload = lease_task(arena, imgs, n_patterns=2)
+            views, result_view, segments = open_task(payload, cache=cache)
+            assert segments == {}  # the cache owns the mappings
+            assert (views[0] == imgs[0]).all()
+            result_view[...] = value
+            del views, result_view
+            assert lease.result_rows().tolist() == [[value, value]]
+            lease.release()
+            seen.append({name for name, *_ in payload[1]} | {payload[2][0]})
+        assert seen[0] == seen[1]  # pack + result slabs both recycled
+        cache.close()
+        arena.release_all()
+        assert_no_leaked_segments()
+
+    def test_refcount_survives_until_last_release(self):
+        arena = ShmArena()
+        slab = arena.allocate(64)
+        slab.retain()
+        slab.release()
+        assert arena.live_segments() == [slab.name]  # one ref left
+        slab.release()
+        assert arena.live_segments() == []
+        arena.release_all()
+
+    def test_locate_finds_resident_array_and_retains(self):
+        arena = ShmArena()
+        lease = RequestLease(arena)
+        buf = lease.new_buffer((6, 7))
+        buf[...] = 3.5
+        found = arena.locate(buf)
+        assert found is not None
+        slab, offset = found
+        assert offset == 0
+        slab.release()  # locate's retain
+        assert arena.locate(np.ones((6, 7))) is None  # heap array: miss
+        assert arena.locate(buf.T) is None  # non-contiguous view: miss
+        lease.release()
+        arena.release_all()
+        assert_no_leaked_segments()
+
+    def test_release_all_is_idempotent_and_closes(self):
+        arena = ShmArena()
+        slab = arena.allocate(64)
+        arena.release_all()
+        arena.release_all()
+        slab.release()  # late release after force-unlink must be a no-op
+        with pytest.raises(ShmError):
+            arena.allocate(64)
+        assert_no_leaked_segments()
+
+    def test_request_lease_declines_on_closed_arena(self):
+        arena = ShmArena()
+        arena.release_all()
+        lease = RequestLease(arena)
+        assert lease.new_buffer((4, 4)) is None
+        lease.release()
+
+    def test_task_roundtrip_through_worker_side_views(self):
+        """lease_task → open_task is the whole wire protocol in-process."""
+        arena = ShmArena()
+        rng = np.random.default_rng(0)
+        imgs = [rng.random((9, 11)), rng.random((5, 4))]
+        lease, payload = lease_task(arena, imgs, n_patterns=3)
+        assert payload[0] == "shm"
+        views, result_view, segments = open_task(payload)
+        assert all(not v.flags.writeable for v in views)
+        assert all((v == i).all() for v, i in zip(views, imgs))
+        result_view[...] = np.arange(6, dtype=np.float64).reshape(2, 3)
+        del views, result_view
+        close_segments(segments)
+        rows = lease.result_rows()
+        assert rows.tolist() == [[0, 1, 2], [3, 4, 5]]
+        lease.release()
+        assert arena.live_segments() == []
+        arena.release_all()
+        assert_no_leaked_segments()
+
+
+class TestTransportSelection:
+    def test_config_rejects_unknown_transport(self):
+        with pytest.raises(ValueError, match="ipc_transport"):
+            ServingConfig(ipc_transport="carrier-pigeon")
+
+    def test_env_var_sets_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVING_IPC", "pickle")
+        assert ServingConfig().ipc_transport == "pickle"
+        monkeypatch.delenv("REPRO_SERVING_IPC")
+        assert ServingConfig().ipc_transport == "auto"
+
+    def test_resolution(self):
+        assert resolve_ipc_transport("pickle") == "pickle"
+        if shm_supported():
+            assert resolve_ipc_transport("auto") == "shm"
+            assert resolve_ipc_transport("shm") == "shm"
+        with pytest.raises(ValueError, match="ipc_transport"):
+            resolve_ipc_transport("bogus")
+
+    def test_pickle_pool_has_no_arena(self, serving_profile):
+        with ServingPool(serving_profile, workers=1,
+                         ipc_transport="pickle") as pool:
+            assert pool.ipc_transport == "pickle"
+            assert pool.request_arena() is None
+            summary = pool.profile_summary()
+            assert summary["pool"]["ipc_transport"] == "pickle"
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("transport", [
+        "pickle", pytest.param("shm", marks=needs_shm),
+    ])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_pool_matches_single_process(
+        self, serving_profile, images, baseline, workers, transport
+    ):
+        """Acceptance: bytes equal single-process predict for every
+        (worker count, transport) cell, with splitting forced."""
+        expected = baseline.predict(images).probs.tobytes()
+        with ServingPool(serving_profile, workers=workers, max_batch=3,
+                         max_wait_ms=0.0, ipc_transport=transport) as pool:
+            assert pool.ipc_transport == transport
+            assert pool.profile_summary()["pool"]["ipc_transport"] \
+                == transport
+            served = pool.predict(images).probs.tobytes()
+        assert served == expected
+        assert_no_leaked_segments()
+
+    @needs_shm
+    def test_shm_allocation_failure_degrades_to_pickle(
+        self, serving_profile, images, baseline, monkeypatch
+    ):
+        """An exhausted arena downgrades tasks to the pickle lane; the
+        response is still byte-identical, not an error."""
+        expected = baseline.predict(images).probs.tobytes()
+        with ServingPool(serving_profile, workers=1,
+                         ipc_transport="shm") as pool:
+            def broke(nbytes):
+                raise ShmError("synthetic allocation failure")
+            monkeypatch.setattr(pool._shm_arena, "allocate", broke)
+            served = pool.predict(images).probs.tobytes()
+        assert served == expected
+        assert_no_leaked_segments()
+
+
+@needs_shm
+class TestDecodeIntoSlab:
+    def test_envelope_decodes_into_lease_slab(self):
+        arena = ShmArena()
+        lease = RequestLease(arena)
+        rng = np.random.default_rng(1)
+        for source in (rng.random((7, 9)),
+                       (rng.random((6, 5)) * 255).astype(np.uint8)):
+            entry = encode_image(source)
+            out = decode_image(entry, into=lease)
+            plain = decode_image(entry)
+            # Slab-resident, float64, and the same elementwise conversion
+            # as_image would apply to the plain decode.
+            assert out.dtype == np.float64
+            found = arena.locate(out)
+            assert found is not None
+            found[0].release()
+            assert out.tobytes() == np.asarray(
+                plain, dtype=np.float64).tobytes()
+        lease.release()
+        assert arena.live_segments() == []
+        arena.release_all()
+        assert_no_leaked_segments()
+
+    def test_list_entry_decodes_into_lease_slab(self):
+        arena = ShmArena()
+        lease = RequestLease(arena)
+        out = decode_image([[1, 2], [3, 4]], into=lease)
+        assert out.dtype == np.float64
+        assert arena.locate(out) is not None
+        assert out.tolist() == [[1.0, 2.0], [3.0, 4.0]]
+        arena.release_all()
+
+    def test_validation_errors_identical_with_and_without_lease(self):
+        arena = ShmArena()
+        lease = RequestLease(arena)
+        bad = {"data": "AAAA", "shape": [3, 3], "dtype": "float64"}
+        with pytest.raises(ValueError) as plain_err:
+            decode_image(bad)
+        with pytest.raises(ValueError) as lease_err:
+            decode_image(bad, into=lease)
+        assert str(plain_err.value) == str(lease_err.value)
+        lease.release()
+        assert arena.live_segments() == []  # nothing allocated on failure
+        arena.release_all()
+
+
+@needs_shm
+class TestLifecycleReclamation:
+    def test_drain_then_shutdown_reclaims_everything(
+        self, serving_profile, images
+    ):
+        pool = ServingPool(serving_profile, workers=2, max_batch=3,
+                           max_wait_ms=0.0, ipc_transport="shm")
+        try:
+            for _ in range(3):
+                pool.submit(images)
+            assert pool.drain(timeout=120)
+            await_no_live(pool)
+        finally:
+            pool.shutdown()
+        assert_no_leaked_segments()
+
+    def test_shutdown_without_drain_reclaims_in_flight(
+        self, serving_profile, images
+    ):
+        pool = ServingPool(serving_profile, workers=1, max_batch=2,
+                           max_wait_ms=0.0, ipc_transport="shm")
+        pool.submit(images)
+        pool.shutdown(drain=False)
+        assert pool._shm_arena.live_segments() == []
+        assert_no_leaked_segments()
+
+    def test_crash_respawn_resubmits_leased_tasks(
+        self, serving_profile, baseline
+    ):
+        """Kill a worker with leased tasks in flight: the respawned
+        worker serves the identical payload from the still-held lease,
+        the answer stays byte-identical, and nothing leaks."""
+        rng = np.random.default_rng(7)
+        frames = [rng.random((120, 120)) for _ in range(8)]
+        expected = baseline.predict(frames).probs.tobytes()
+        with ServingPool(serving_profile, workers=1, max_batch=2,
+                         max_wait_ms=0.0, ipc_transport="shm",
+                         max_respawns=2) as pool:
+            pending = pool.submit(frames)
+            time.sleep(0.05)
+            pool._workers[0].process.kill()
+            served = pending.result(timeout=120).probs.tobytes()
+            assert served == expected
+            await_no_live(pool)
+        assert_no_leaked_segments()
+
+    def test_terminal_failure_reclaims_leases(self, serving_profile):
+        rng = np.random.default_rng(8)
+        frames = [rng.random((150, 150)) for _ in range(8)]
+        pool = ServingPool(serving_profile, workers=1, max_batch=2,
+                           max_wait_ms=0.0, ipc_transport="shm",
+                           max_respawns=0)
+        try:
+            pending = pool.submit(frames)
+            pool._workers[0].process.kill()
+            with pytest.raises(ServingError):
+                pending.result(timeout=120)
+            # _fail_pool force-unlinks; give the collect thread a beat.
+            await_no_live(pool)
+        finally:
+            pool.shutdown(drain=False)
+        assert_no_leaked_segments()
+
+    def test_request_slabs_from_http_decode_are_reclaimed(
+        self, serving_profile, baseline
+    ):
+        """The threaded front decodes into arena slabs; after the
+        response (and after a rejected request) nothing stays live."""
+        import json
+        import urllib.request
+        from repro.serving.http import serve_http
+        from repro.serving.protocol import encode_image as enc
+
+        rng = np.random.default_rng(9)
+        imgs = [rng.random((40, 40)), rng.random((32, 24))]
+        expected = baseline.predict(imgs).probs.tobytes()
+        with ServingPool(serving_profile, workers=1,
+                         ipc_transport="shm", http_port=0) as pool:
+            front = serve_http(pool)
+            try:
+                body = json.dumps(
+                    {"images": [enc(im) for im in imgs]}).encode()
+                req = urllib.request.Request(
+                    front.url + "/v1/label", data=body, method="POST",
+                    headers={"Content-Type": "application/json"})
+                with urllib.request.urlopen(req, timeout=120) as resp:
+                    answer = json.loads(resp.read())
+                got = np.asarray(answer["probs"], dtype=np.float64)
+                assert got.tobytes() == expected
+                # A request rejected after decoding (3-D image) must
+                # release its decode lease too.
+                bad = json.dumps(
+                    {"image": enc(rng.random((2, 3, 4)))}).encode()
+                req = urllib.request.Request(
+                    front.url + "/v1/label", data=bad, method="POST",
+                    headers={"Content-Type": "application/json"})
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    urllib.request.urlopen(req, timeout=30)
+                with err.value:  # HTTPError keeps the response socket
+                    assert err.value.code == 400
+                await_no_live(pool)
+            finally:
+                front.close()
+        assert_no_leaked_segments()
