@@ -1,0 +1,194 @@
+"""Concurrent-client throughput: fleet router vs a single pool.
+
+The fleet router exists to aggregate single-host pools without changing a
+byte, so this benchmark measures both halves of that claim.  **Identity
+first**: before any number is recorded, the full stream is routed through
+a 2-pool fleet and every response checked byte-identical to
+single-process ``predict`` — a throughput table for a router that moved
+bytes would be worthless.  **Then cost**: a swept number of concurrent
+single-image clients drives the same stream through three lanes on
+identical 1-worker pools —
+
+- ``direct``    — ``pool.predict`` on one pool (the baseline),
+- ``router/1``  — a ``FleetRouter`` over that same single pool, so the
+  difference is pure routing overhead (content hashing, rendezvous
+  ranking, health accounting),
+- ``router/2``  — a ``FleetRouter`` over two pools, the aggregate lane.
+
+Gates: router overhead must stay ≤ 25% at the top client count (the
+router adds one sha256 over the request bytes plus bookkeeping — if that
+costs a quarter of a matmul-heavy request, something regressed), and on
+hosts with ≥ 4 usable cores the 2-pool fleet must reach ≥ 1.5× the
+single-pool baseline at the top client count (two pools' workers are
+genuinely parallel; rendezvous spread makes the fleet scale).  On
+smaller hosts the aggregate gate is reported but not enforced — two
+1-worker pools on one core just take turns.
+
+Results land in ``benchmarks/results/fleet_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from _common import BENCH, emit
+from repro.core.pipeline import InspectorGadget
+from repro.datasets.registry import make_dataset
+from repro.eval.experiments import build_ig_config
+from repro.serving import FleetRouter, InProcessMember, ServingPool
+from repro.utils.tables import format_table
+
+CLIENT_COUNTS = (1, 4, 16)
+STREAM_LEN = 48     # single-image requests per measured pass
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def fleet_workload(tmp_path_factory):
+    """A saved profile plus the image stream every pass serves."""
+    profile = replace(BENCH, n_images=60, target_defective=6)
+    dataset = make_dataset("ksdd", scale=profile.scale, seed=0,
+                          n_images=profile.n_images)
+    config = build_ig_config(profile, mode="none")
+    ig = InspectorGadget(config)
+    ig.fit(dataset)
+    path = ig.save(tmp_path_factory.mktemp("fleet-bench") / "bench.igz")
+    pool_images = [item.image for item in dataset.images]
+    stream = [pool_images[i % len(pool_images)] for i in range(STREAM_LEN)]
+    return path, dataset.image_shape, stream
+
+
+def _concurrent_pass(predict, stream, single_bytes, n_clients: int) -> float:
+    """One timed pass: n_clients threads splitting the stream, one
+    ``predict`` call per image, every response byte-checked against its
+    single-process reference."""
+    errors: list[BaseException] = []
+
+    def client(worker: int) -> None:
+        try:
+            for i in range(worker, len(stream), n_clients):
+                probs = predict([stream[i]]).probs
+                assert probs.tobytes() == single_bytes[i], (
+                    f"response {i} diverged from single-process predict"
+                )
+        except BaseException as exc:  # surfaced by the caller
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(w,))
+               for w in range(n_clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    assert not errors, errors[:1]
+    return elapsed
+
+
+def test_fleet_throughput(fleet_workload):
+    profile_path, image_shape, stream = fleet_workload
+    cpus = _usable_cpus()
+
+    reference = InspectorGadget.load(profile_path)
+    reference.warmup([image_shape])
+    single_bytes = [reference.predict([image]).probs.tobytes()
+                    for image in stream]
+
+    throughput: dict[tuple[str, int], float] = {}
+    with ServingPool(profile_path, workers=1, max_batch=8, max_wait_ms=0.0,
+                     warmup_shapes=(image_shape,)) as pool_a, \
+            ServingPool(profile_path, workers=1, max_batch=8,
+                        max_wait_ms=0.0,
+                        warmup_shapes=(image_shape,)) as pool_b:
+        router_one = FleetRouter([InProcessMember(pool_a, "a")],
+                                 fleet_probe_interval_s=30.0)
+        router_two = FleetRouter([InProcessMember(pool_a, "a"),
+                                  InProcessMember(pool_b, "b")],
+                                 fleet_probe_interval_s=30.0)
+        try:
+            # Identity gate before any number records: the 2-pool fleet
+            # must answer the whole stream byte-identical to
+            # single-process predict, whichever member each request
+            # rendezvoused to.
+            for i, image in enumerate(stream):
+                got = router_two.predict([image]).probs.tobytes()
+                assert got == single_bytes[i], (
+                    f"2-pool fleet response {i} diverged from "
+                    f"single-process predict — fix identity before "
+                    f"measuring throughput"
+                )
+
+            lanes = (("direct", pool_a.predict),
+                     ("router/1", router_one.predict),
+                     ("router/2", router_two.predict))
+            for name, predict in lanes:  # warm every lane's path
+                predict([stream[0]])
+            for n_clients in CLIENT_COUNTS:
+                for name, predict in lanes:
+                    elapsed = min(
+                        _concurrent_pass(predict, stream, single_bytes,
+                                         n_clients)
+                        for _ in range(2)
+                    )
+                    throughput[(name, n_clients)] = len(stream) / elapsed
+        finally:
+            router_one.shutdown(drain=False)
+            router_two.shutdown(drain=False)
+
+    rows = []
+    for n_clients in CLIENT_COUNTS:
+        direct = throughput[("direct", n_clients)]
+        one = throughput[("router/1", n_clients)]
+        two = throughput[("router/2", n_clients)]
+        rows.append([
+            str(n_clients), f"{direct:.1f}", f"{one:.1f}", f"{two:.1f}",
+            f"{(direct - one) / direct * 100:+.1f}%",
+            f"{two / direct:.2f}x",
+        ])
+    top = CLIENT_COUNTS[-1]
+    overhead = 1.0 - (throughput[("router/1", top)]
+                      / throughput[("direct", top)])
+    aggregate = (throughput[("router/2", top)]
+                 / throughput[("direct", top)])
+    emit("fleet_throughput", format_table(
+        ["Clients", "direct imgs/sec", "router/1 imgs/sec",
+         "router/2 imgs/sec", "router overhead", "2-pool speedup"],
+        rows,
+        title=f"Fleet router throughput vs concurrent clients (ksdd bench "
+              f"profile, {len(stream)} single-image requests per pass, "
+              f"1-worker pools, {cpus} usable core(s); identity gate: "
+              f"2-pool fleet byte-identical to single-process predict "
+              f"before measurement)",
+    ), record={
+        "imgs_per_sec": throughput[("router/2", top)],
+        "router_overhead": overhead,
+        "two_pool_speedup": aggregate,
+        "clients": top,
+        "cpus": cpus,
+    })
+
+    # Routing a request is a sha256 over its bytes plus a ranked dict walk;
+    # it must stay a rounding error next to NCC + labeler compute.
+    assert overhead <= 0.25, (
+        f"router overhead reached {overhead:.1%} at {top} clients "
+        f"(gate 25%) — routing must not cost a quarter of the request"
+    )
+    if cpus >= 4:
+        assert aggregate >= 1.5, (
+            f"2-pool fleet reached only {aggregate:.2f}x the single-pool "
+            f"baseline at {top} clients on {cpus} cores (gate 1.5x) — "
+            f"aggregation is the fleet's reason to exist"
+        )

@@ -34,7 +34,15 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["fingerprint", "ArtifactStore", "atomic_write"]
+__all__ = [
+    "fingerprint",
+    "ArtifactStore",
+    "atomic_write",
+    "ProfileStore",
+    "LocalDirProfileStore",
+    "HttpProfileStore",
+    "open_profile_store",
+]
 
 # Bump to invalidate every previously written artifact (e.g. when a stage's
 # semantics change without its config changing).
@@ -247,3 +255,155 @@ class ArtifactStore:
                 entry.unlink()
                 removed += 1
         return removed
+
+
+class ProfileStore:
+    """Shared store of saved serving profiles, keyed by fingerprint.
+
+    The fleet-deployment seam: fit hosts ``save`` a profile's bytes under
+    its ``serving_fingerprint()``, serving hosts ``load`` (or ``path``)
+    by fingerprint at startup — so every member of a fleet provably
+    serves the same content-addressed profile, with no shared filesystem
+    assumed.  The API is the :class:`ArtifactStore` verb set —
+    ``load``/``save``/``path`` — but payloads are the *opaque bytes* of
+    a profile file (``InspectorGadget.save`` output), never pickles, and
+    keys are serving fingerprints, never stage digests.
+
+    Two backends ship: :class:`LocalDirProfileStore` (a directory,
+    possibly network-mounted — the reference) and
+    :class:`HttpProfileStore` (pulls from a serving host's
+    ``GET /v1/profiles/<fingerprint>`` endpoint).  :func:`open_profile_store`
+    picks by spec; the CLI's ``--profile-store`` feeds it directly.
+    """
+
+    def load(self, key: str) -> bytes | None:
+        """Profile bytes stored under fingerprint ``key``, or ``None``."""
+        raise NotImplementedError
+
+    def save(self, key: str, payload: bytes) -> Path:
+        """Persist profile bytes under fingerprint ``key``."""
+        raise NotImplementedError
+
+    def path(self, key: str) -> Path:
+        """A local filesystem path holding the profile — what loaders
+        (``InspectorGadget.load``, ``ServingPool``) consume.  Raises
+        ``FileNotFoundError`` when the store has no such profile."""
+        raise NotImplementedError
+
+    def publish(self, profile_path: str | Path) -> str:
+        """Copy a saved profile file into the store under its serving
+        fingerprint; returns the fingerprint (the key to serve it by)."""
+        from repro.core.pipeline import InspectorGadget
+
+        profile_path = Path(profile_path)
+        key = InspectorGadget.load(profile_path).serving_fingerprint()
+        self.save(key, profile_path.read_bytes())
+        return key
+
+
+class LocalDirProfileStore(ProfileStore):
+    """Reference backend: a flat directory of ``<fingerprint>.igz`` files.
+
+    Saves are atomic (temp + rename), so a serving host reading the
+    directory mid-publish sees either the whole profile or none of it.
+    Point several hosts at one network mount and this *is* the shared
+    store.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        target = self.root / f"{key}.igz"
+        if not target.is_file():
+            raise FileNotFoundError(
+                f"profile store {self.root} has no profile with "
+                f"fingerprint {key!r}"
+            )
+        return target
+
+    def load(self, key: str) -> bytes | None:
+        try:
+            return (self.root / f"{key}.igz").read_bytes()
+        except OSError:
+            return None
+
+    def save(self, key: str, payload: bytes) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        return atomic_write(
+            self.root / f"{key}.igz", lambda fh: fh.write(payload)
+        )
+
+
+class HttpProfileStore(ProfileStore):
+    """Read-only backend over a serving host's profiles endpoint.
+
+    ``load`` GETs ``<base_url>/v1/profiles/<fingerprint>`` (either HTTP
+    front end, or a fleet router, serves it); a 404 is ``None``, like a
+    local miss.  ``path`` downloads into ``cache_dir`` atomically so
+    loaders that need a real file get one; repeat calls reuse the cached
+    copy — content-addressed keys make staleness impossible.  ``save``
+    raises: publishing goes through a writable store on the fit host.
+    """
+
+    def __init__(self, base_url: str, cache_dir: str | Path | None = None):
+        self.base_url = base_url.rstrip("/")
+        if not self.base_url.startswith(("http://", "https://")):
+            raise ValueError(
+                f"HttpProfileStore needs an http(s) URL, got {base_url!r}"
+            )
+        self.cache_dir = Path(
+            cache_dir if cache_dir is not None
+            else Path(tempfile.gettempdir()) / "repro-profile-cache"
+        )
+
+    def load(self, key: str) -> bytes | None:
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(
+                f"{self.base_url}/v1/profiles/{key}", timeout=60.0
+            ) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as err:
+            with err:
+                if err.code == 404:
+                    return None
+                raise OSError(
+                    f"profile store {self.base_url} answered HTTP "
+                    f"{err.code} for fingerprint {key!r}"
+                ) from err
+
+    def save(self, key: str, payload: bytes) -> Path:
+        raise OSError(
+            f"profile store {self.base_url} is read-only (profiles are "
+            "published on the fit host; serving hosts only pull)"
+        )
+
+    def path(self, key: str) -> Path:
+        target = self.cache_dir / f"{key}.igz"
+        if target.is_file():
+            return target
+        payload = self.load(key)
+        if payload is None:
+            raise FileNotFoundError(
+                f"profile store {self.base_url} has no profile with "
+                f"fingerprint {key!r}"
+            )
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        return atomic_write(target, lambda fh: fh.write(payload))
+
+
+def open_profile_store(spec: str,
+                       cache_dir: str | Path | None = None) -> ProfileStore:
+    """Open the profile store named by ``spec``.
+
+    ``http(s)://...`` opens an :class:`HttpProfileStore` (read-only pull
+    from a serving host); anything else is a directory path for
+    :class:`LocalDirProfileStore`.  This is the resolver behind the
+    CLI's ``--profile-store``.
+    """
+    if spec.startswith(("http://", "https://")):
+        return HttpProfileStore(spec, cache_dir=cache_dir)
+    return LocalDirProfileStore(spec)

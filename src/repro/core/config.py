@@ -103,6 +103,20 @@ class ServingConfig:
     cadence (whichever comes first), and ``ingest_suffixes`` the file
     extensions the scanner picks up.  Like the transport knobs, none of
     these can change a verdict — only when and how it is produced.
+
+    The ``fleet_*`` knobs configure the cross-host router
+    (:mod:`repro.serving.fleet`, the CLI's ``--fleet``):
+    ``fleet_retry_limit`` bounds how many *additional* members a failed
+    idempotent request is retried on (0 disables failover),
+    ``fleet_eject_failures`` how many consecutive failures eject a
+    member from rotation, and ``fleet_probe_interval_s`` how often the
+    router health-probes ejected members for readmission.
+    ``profile_store`` names a shared profile store — a local directory
+    or the ``http(s)://`` base URL of a serving host — that the CLI
+    resolves bare fingerprints against (``--profile-store``); ``None``
+    keeps profiles purely file-path based.  Fleet knobs shard requests
+    but never split one: responses through a router stay byte-identical
+    to single-process ``predict``.
     """
 
     workers: int = 2
@@ -132,6 +146,10 @@ class ServingConfig:
     ingest_commit_lines: int = 32
     ingest_commit_interval_s: float = 1.0
     ingest_suffixes: tuple[str, ...] = (".npy",)
+    fleet_retry_limit: int = 2
+    fleet_eject_failures: int = 2
+    fleet_probe_interval_s: float = 1.0
+    profile_store: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -251,6 +269,28 @@ class ServingConfig:
             raise ValueError(
                 "ingest_suffixes must be a non-empty tuple of "
                 f"'.ext' strings, got {self.ingest_suffixes!r}"
+            )
+        if self.fleet_retry_limit < 0:
+            raise ValueError(
+                f"fleet_retry_limit must be >= 0, "
+                f"got {self.fleet_retry_limit}"
+            )
+        if self.fleet_eject_failures < 1:
+            raise ValueError(
+                f"fleet_eject_failures must be >= 1, "
+                f"got {self.fleet_eject_failures}"
+            )
+        if self.fleet_probe_interval_s <= 0:
+            raise ValueError(
+                "fleet_probe_interval_s must be > 0, "
+                f"got {self.fleet_probe_interval_s}"
+            )
+        if self.profile_store is not None and (
+            not isinstance(self.profile_store, str) or not self.profile_store
+        ):
+            raise ValueError(
+                "profile_store must be None or a non-empty directory path "
+                f"or http(s) URL, got {self.profile_store!r}"
             )
 
 

@@ -45,8 +45,18 @@ one module (:mod:`repro.serving.protocol`), so a bad request gets the
 same answer — and a good one byte-identical labels — no matter how it
 arrived.  Both HTTP fronts speak gzip for request and response bodies.
 
+Above single pools, :class:`FleetRouter` (:mod:`repro.serving.fleet`)
+routes requests across N of them — in-process or on other hosts over
+the same wire protocol — admitting members only when their
+``serving_fingerprint()`` matches (equal fingerprints ⇒ byte-identical
+answers), sharding by deterministic rendezvous hashing, and degrading
+gracefully (bounded retry, ejection, probed readmission).  The router
+duck-types the pool surface, so every transport above also serves a
+fleet; ``docs/fleet.md`` has the full semantics.
+
 ``python -m repro.serving --profile p.igz --workers 4`` serves from the
-command line (``--images``/``--stdin``/``--http HOST:PORT``); see
+command line (``--images``/``--stdin``/``--http HOST:PORT``, or
+``--fleet URL,URL`` to front running pools); see
 :mod:`repro.serving.cli`.  The prose map of this whole stack lives in
 ``docs/architecture.md``; the HTTP API reference in ``docs/serving.md``.
 """
@@ -57,6 +67,13 @@ from repro.serving.dispatcher import (
     Dispatcher,
     PendingPrediction,
     ServingError,
+)
+from repro.serving.fleet import (
+    FleetHealth,
+    FleetRouter,
+    HttpMember,
+    InProcessMember,
+    MemberUnavailable,
 )
 from repro.serving.http import HttpFrontEnd, serve_http
 from repro.serving.pool import PoolHealth, ServingPool, WorkerStatus
@@ -75,4 +92,9 @@ __all__ = [
     "serve_http_async",
     "PoolHealth",
     "WorkerStatus",
+    "FleetRouter",
+    "FleetHealth",
+    "InProcessMember",
+    "HttpMember",
+    "MemberUnavailable",
 ]

@@ -3,7 +3,8 @@
 :func:`serve_http_async` is the drop-in sibling of
 :func:`repro.serving.http.serve_http`: the same endpoint surface
 (``POST /v1/label``, ``GET /healthz`` (+``?ping=1``), ``GET /profile``,
-``POST /admin/drain``), the same error envelopes with the same message
+``GET /v1/profiles/<fingerprint>``, ``POST /admin/drain``), the same
+error envelopes with the same message
 strings, the same limits (411/413 before reading oversized bodies, gzip
 inflation bounded by ``max_request_bytes``, ``request_timeout_s`` → 504,
 drain → 503 + ``Retry-After`` with observability staying up), and
@@ -282,9 +283,21 @@ class AsyncHttpFrontEnd:
             status = abort.status
             payload = error_envelope(abort.code, abort.message, abort.status)
             close = abort.close
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, (bytes, bytearray)):
+            # Raw-bytes responses (profile files) go out verbatim as
+            # octet-stream: the payload is already gzip-framed by
+            # ``InspectorGadget.save``, so transport compression would
+            # only waste cycles — same rule as the threaded front end.
+            body = bytes(payload)
+            content_type = "application/octet-stream"
+            compress = False
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+            compress = True
         close = close or want_close
-        await self._send(writer, status, body, headers, close=close)
+        await self._send(writer, status, body, headers, close=close,
+                         content_type=content_type, compress=compress)
         return not close
 
     async def _route(self, method: str, path: str, headers: dict,
@@ -302,6 +315,9 @@ class AsyncHttpFrontEnd:
                 return await self._healthz(parse_qs(parsed.query))
             if route == "/profile":
                 return 200, self.pool.profile_summary(), False
+            if route.startswith("/v1/profiles/"):
+                return await self._profile_bytes(
+                    route[len("/v1/profiles/"):])
             if route == "/v1/label":
                 return 405, error_envelope(
                     "method_not_allowed", "use POST for /v1/label", 405,
@@ -403,6 +419,22 @@ class AsyncHttpFrontEnd:
             envelope = envelope_for(exc)
             return envelope["error"]["status"], envelope, False
         return 200, response_payload(weak), False
+
+    async def _profile_bytes(self, fingerprint: str):
+        """``GET /v1/profiles/<fingerprint>``: the raw profile file, or a
+        404 envelope — message-identical to the threaded front end.  The
+        read (disk, or a fleet member proxy) runs in the executor so it
+        cannot stall label traffic on the loop."""
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            None, self.pool.profile_bytes, fingerprint)
+        if payload is None:
+            return 404, error_envelope(
+                "not_found",
+                f"no profile with fingerprint {fingerprint!r} on this host",
+                404,
+            ), False
+        return 200, payload, False
 
     async def _healthz(self, query: dict):
         loop = asyncio.get_running_loop()
@@ -510,9 +542,12 @@ class AsyncHttpFrontEnd:
 
     async def _send(self, writer: asyncio.StreamWriter, status: int,
                     body: bytes, request_headers: dict,
-                    close: bool = False) -> None:
+                    close: bool = False,
+                    content_type: str = "application/json",
+                    compress: bool = True) -> None:
         encoding = None
-        if (self.gzip_responses and len(body) >= self.gzip_min_bytes
+        if (compress and self.gzip_responses
+                and len(body) >= self.gzip_min_bytes
                 and accepts_gzip(request_headers.get("accept-encoding"))):
             body = gzip_body(body, level=self.gzip_level)
             encoding = "gzip"
@@ -520,7 +555,7 @@ class AsyncHttpFrontEnd:
         lines = [
             f"HTTP/1.1 {status} {phrase}",
             f"Server: {_SERVER_VERSION}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
         ]
         if encoding:
             lines.append(f"Content-Encoding: {encoding}")

@@ -1,7 +1,8 @@
 """Command-line serving entry point: ``python -m repro.serving``.
 
-Loads a saved profile into a multi-process pool and serves it.  Four
-mutually exclusive modes:
+Loads a saved profile into a multi-process pool and serves it — or,
+with ``--fleet``, routes across already-running pools instead of
+owning one (see below).  Four mutually exclusive modes:
 
 * ``--images a.npy b.npy ...`` — label the given arrays in one batch
   request, print one ``path<TAB>label<TAB>confidence`` line per image, and
@@ -28,10 +29,26 @@ mutually exclusive modes:
   current backlog, drains, and exits 0 — the batch/CI form.  Full
   semantics in ``docs/ingest.md``.
 
+Fleet mode: ``--fleet URL[,URL...]`` replaces ``--profile`` — instead
+of spawning a local pool, the requests of any mode above (except
+``--watch``) are routed across the listed serving hosts by a
+:class:`~repro.serving.fleet.FleetRouter` (admission checks every host
+serves the same fingerprint; routing is deterministic rendezvous
+hashing; failures retry/eject/readmit — ``docs/fleet.md``).  With
+``--http``, the router itself is served, making this process a fleet
+front with aggregated ``/healthz`` and ``/profile``.
+
+``--profile-store SPEC`` names a shared profile store (a directory, or
+the ``http(s)://`` base URL of a serving host).  When ``--profile`` is
+not an existing file, it is treated as a serving *fingerprint* and
+pulled from the store — how a serving host joins a fleet without the
+profile file pre-placed.
+
 Exit codes (supervisor contract): ``0`` success/clean drain, ``1`` a
 request or transport failure with a live pool, ``2`` usage errors (bad
-flag values, unreadable profile), ``3`` the pool itself failed (startup
-failure or respawn budget exhausted — restart the daemon).
+flag values, unreadable profile, fleet admission mismatch), ``3`` the
+pool itself failed (startup failure or respawn budget exhausted —
+restart the daemon) or no fleet member was reachable.
 
 Examples::
 
@@ -43,6 +60,11 @@ Examples::
         --http 127.0.0.1:8765
     python -m repro.serving --profile ksdd.igz --workers 4 \
         --watch /srv/camera --sink jsonl:verdicts.jsonl --sink move:/srv/bins
+    python -m repro.serving \
+        --fleet http://10.0.0.5:8765,http://10.0.0.6:8765 \
+        --http 127.0.0.1:9000
+    python -m repro.serving --profile-store /mnt/profiles \
+        --profile 41c1e79c... --http 127.0.0.1:8765
 """
 
 from __future__ import annotations
@@ -55,10 +77,12 @@ import time
 
 import numpy as np
 
+from repro.core.artifacts import open_profile_store
 from repro.core.config import ServingConfig
 from repro.core.pipeline import ProfileError
 from repro.serving.aio import serve_http_async
 from repro.serving.dispatcher import ServingError
+from repro.serving.fleet import FleetRouter, HttpMember
 from repro.serving.http import serve_http
 from repro.serving.ingest import parse_sink_spec, start_ingest
 from repro.serving.pool import ServingPool
@@ -74,9 +98,27 @@ def build_parser() -> argparse.ArgumentParser:
         description="Serve a saved Inspector Gadget profile from a "
                     "multi-process worker pool.",
     )
-    parser.add_argument("--profile", required=True,
+    parser.add_argument("--profile",
                         help="path to a profile written by "
-                             "InspectorGadget.save()")
+                             "InspectorGadget.save(); with "
+                             "--profile-store, a bare serving "
+                             "fingerprint to pull from the store is "
+                             "also accepted. Required unless --fleet "
+                             "is given")
+    parser.add_argument("--fleet", metavar="URL[,URL...]",
+                        help="route requests across these already-"
+                             "running serving hosts instead of "
+                             "spawning a local pool; admission "
+                             "requires every host to serve the same "
+                             "profile fingerprint. Mutually exclusive "
+                             "with --profile; not usable with --watch")
+    parser.add_argument("--profile-store", metavar="SPEC",
+                        help="shared profile store: a directory path, "
+                             "or the http(s):// base URL of a serving "
+                             "host exposing GET /v1/profiles/<fp>. "
+                             "When --profile is not an existing file "
+                             "it is resolved as a fingerprint in this "
+                             "store")
     parser.add_argument("--workers", type=int, default=2,
                         help="worker processes (default: 2)")
     parser.add_argument("--max-batch", type=int, default=8,
@@ -215,6 +257,29 @@ def _load_image(path: str) -> np.ndarray:
     return array
 
 
+def _resolve_profile(profile: str, store_spec: str | None) -> str:
+    """The local path to serve: ``--profile`` itself, or a store pull.
+
+    An existing file always wins (a path is a path); otherwise, with a
+    store configured, the value is treated as a serving fingerprint and
+    materialized locally via ``store.path`` — raising
+    ``FileNotFoundError`` when the store has no such profile.
+    """
+    if store_spec is None or os.path.exists(profile):
+        return profile
+    return str(open_profile_store(store_spec).path(profile))
+
+
+def _fleet_banner(router: FleetRouter, out) -> None:
+    summary = router.profile_summary()
+    members = summary["fleet"]["members"]
+    healthy = sum(1 for member in members if member["healthy"])
+    print(f"fleet routing across {len(members)} member(s) "
+          f"(fingerprint {router.serving_fingerprint()[:12]}): "
+          f"{healthy}/{len(members)} healthy, "
+          f"retry_limit={router.config.fleet_retry_limit}", file=out)
+
+
 def _banner(pool: ServingPool, out) -> None:
     health = pool.health()
     ready = sum(1 for w in health.workers if w.ready)
@@ -332,12 +397,58 @@ def _run_watch(pool: ServingPool, controller, out) -> int:
     return 0
 
 
+def _main_fleet(args, config: ServingConfig, out) -> int:
+    """The ``--fleet`` path: route across remote pools instead of owning one.
+
+    The pool-mode exit contract carries over: admission failures
+    (fingerprint mismatch, malformed member URL) are usage-shaped (2),
+    an unreachable fleet is a dead backend (3), per-request failures
+    with a live fleet are 1.  The router duck-types the pool surface,
+    so the mode runners (`_run_stdin`, `_run_http`, `_run_images`) are
+    the same functions pool mode uses.
+    """
+    urls = [url.strip() for url in args.fleet.split(",") if url.strip()]
+    try:
+        if not urls:
+            raise ValueError("--fleet needs at least one member URL")
+        router = FleetRouter([HttpMember(url) for url in urls], config)
+    except ValueError as exc:
+        print(f"error: invalid serving option: {exc}", file=sys.stderr)
+        return 2
+    except ServingError as exc:  # includes MemberUnavailable on admission
+        print(f"error: fleet admission failed: {exc}", file=sys.stderr)
+        return 3
+    try:
+        if not args.quiet:
+            _fleet_banner(router, sys.stderr)
+        if args.stdin:
+            return _run_stdin(router, out)
+        if args.http is not None:
+            return _run_http(router, out)
+        return _run_images(router, args.images, args.output, out)
+    except (OSError, ValueError, ServingError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        router.shutdown()
+
+
 def main(argv: list[str] | None = None, stdout=None) -> int:
     """CLI entry point; returns the process exit code (see module doc)."""
     args = build_parser().parse_args(argv)
     out = sys.stdout if stdout is None else stdout
+    if (args.profile is None) == (args.fleet is None):
+        print("error: invalid serving option: exactly one of --profile "
+              "or --fleet is required", file=sys.stderr)
+        return 2
+    if args.fleet is not None and args.watch is not None:
+        print("error: invalid serving option: --watch needs a local pool "
+              "(--profile), not a fleet", file=sys.stderr)
+        return 2
     try:
         overrides = {}
+        if args.profile_store is not None:
+            overrides["profile_store"] = args.profile_store
         if args.http is not None:
             # Through ServingConfig so the address gets the same
             # validation as every other knob (port range, non-empty
@@ -389,8 +500,14 @@ def main(argv: list[str] | None = None, stdout=None) -> int:
         except (ValueError, OSError) as exc:
             print(f"error: invalid serving option: {exc}", file=sys.stderr)
             return 2
+    if args.fleet is not None:
+        return _main_fleet(args, config, out)
     try:
-        pool = ServingPool(args.profile, config)
+        # A missing --profile file with a store configured is a
+        # fingerprint pull; store failures are usage-shaped (exit 2),
+        # same as an unreadable profile path.
+        profile_path = _resolve_profile(args.profile, args.profile_store)
+        pool = ServingPool(profile_path, config)
     except FileNotFoundError as exc:
         print(f"error: profile not found: {exc}", file=sys.stderr)
         return 2
@@ -398,6 +515,11 @@ def main(argv: list[str] | None = None, stdout=None) -> int:
         # The ProfileError subclasses carry actionable, mode-specific text
         # (not a profile / truncated / version skew); surface it verbatim.
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # e.g. the profile store is unreachable; the pull failed before
+        # any pool existed, so this is usage-shaped like a bad path.
+        print(f"error: profile store failed: {exc}", file=sys.stderr)
         return 2
     except ValueError as exc:
         # e.g. an --engine-backend naming a library this host doesn't

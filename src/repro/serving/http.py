@@ -27,6 +27,11 @@ Endpoints (full reference with schemas and a curl walkthrough in
     The loaded profile's ``serving_fingerprint()`` plus its tuning summary
     and the pool's dispatch knobs — what a router needs to know which
     hosts serve identical answers.
+``GET /v1/profiles/<fingerprint>``
+    The served profile's raw file bytes, iff ``<fingerprint>`` is its
+    ``serving_fingerprint()`` (404 otherwise) — the pull side of the
+    shared profile store (:class:`repro.core.artifacts.HttpProfileStore`),
+    so fleet members can fetch the exact profile a host is serving.
 ``POST /admin/drain``
     Graceful shutdown: new label requests are refused with 503 while
     every in-flight request completes; the response reports whether the
@@ -294,6 +299,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._healthz(parse_qs(parsed.query))
         elif parsed.path == "/profile":
             self._profile()
+        elif parsed.path.startswith("/v1/profiles/"):
+            self._profile_bytes(parsed.path[len("/v1/profiles/"):])
         elif parsed.path == "/v1/label":
             self._send_error_envelope(
                 405, "method_not_allowed",
@@ -392,6 +399,30 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _profile(self) -> None:
         self._send_json(200, self.front.pool.profile_summary())
+
+    def _profile_bytes(self, fingerprint: str) -> None:
+        """``GET /v1/profiles/<fingerprint>``: the raw profile file.
+
+        The pull side of the shared profile store
+        (:class:`repro.core.artifacts.HttpProfileStore`).  The body is
+        the profile's bytes verbatim — already gzip-framed by
+        ``InspectorGadget.save`` — so it is served as octet-stream with
+        no transport compression on either HTTP front end.
+        """
+        payload = self.front.pool.profile_bytes(fingerprint)
+        if payload is None:
+            self._send_error_envelope(
+                404, "not_found",
+                f"no profile with fingerprint {fingerprint!r} on this host",
+            )
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(payload)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(payload)
 
     def _drain(self) -> None:
         body = self._read_body(allow_empty=True)

@@ -61,6 +61,7 @@ import threading
 import time
 from multiprocessing.connection import wait as connection_wait
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from repro.core.config import ServingConfig
 from repro.core.pipeline import InspectorGadget
@@ -332,6 +333,24 @@ class ServingPool:
         if self._ingest is not None:
             summary["ingest"] = self._ingest.config_summary()
         return summary
+
+    def profile_bytes(self, fingerprint: str) -> bytes | None:
+        """The served profile's file bytes, iff ``fingerprint`` names it.
+
+        What ``GET /v1/profiles/<fingerprint>`` serves — the pull side
+        of the shared profile store
+        (:class:`repro.core.artifacts.HttpProfileStore`): a serving host
+        doubles as a profile source for fleet members joining later.
+        Keyed strictly: asking for any other fingerprint returns
+        ``None`` (a 404), never "the profile I happen to have" — a
+        content-addressed store must not answer with different content.
+        """
+        if fingerprint != self.serving_fingerprint():
+            return None
+        try:
+            return Path(self.profile_path).read_bytes()
+        except OSError:
+            return None
 
     # -- lifecycle ------------------------------------------------------------
 

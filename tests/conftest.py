@@ -32,16 +32,45 @@ def tiny_neu():
 
 
 @pytest.fixture(scope="session")
-def serving_profile(tiny_ksdd, tmp_path_factory):
+def serving_profile_cache(tiny_ksdd, tmp_path_factory):
+    """Factory mapping a full ``InspectorGadgetConfig`` to a fitted
+    profile on disk, fitting each distinct config at most once per
+    session.
+
+    The cache key is the *whole config slice*
+    (:func:`repro.core.artifacts.fingerprint` over the dataclass), not
+    the fixture name — so any two suites asking for byte-identical
+    configs share one fit (fitting even the tiny profile costs
+    seconds), while a suite that genuinely varies a fit-relevant knob
+    gets its own profile instead of silently reusing the wrong one.
+    """
+    from repro.core.artifacts import fingerprint
+    from repro.core.pipeline import InspectorGadget
+
+    root = tmp_path_factory.mktemp("serving-profile")
+    cache: dict[str, object] = {}
+
+    def fit(config):
+        key = fingerprint(config)
+        if key not in cache:
+            ig = InspectorGadget(config)
+            ig.fit(tiny_ksdd)
+            cache[key] = ig.save(root / f"{key[:16]}.igz")
+        return cache[key]
+
+    return fit
+
+
+@pytest.fixture(scope="session")
+def serving_profile(serving_profile_cache):
     """A fitted tiny profile on disk, shared by the serving transport suites.
 
-    Session-scoped because fitting even the tiny profile costs seconds
-    and both HTTP front-end suites (threaded and asyncio) pin their
-    responses against the same saved profile.
+    Session-scoped, and keyed through :func:`serving_profile_cache` on
+    the full config, so every suite spawning pools from this default
+    config — HTTP fronts, shm, ingest, fleet — reuses one fit.
     """
     from repro.augment.augmenter import AugmentConfig
     from repro.core.config import InspectorGadgetConfig
-    from repro.core.pipeline import InspectorGadget
     from repro.crowd.workflow import WorkflowConfig as _WorkflowConfig
 
     config = InspectorGadgetConfig(
@@ -51,9 +80,41 @@ def serving_profile(tiny_ksdd, tmp_path_factory):
         labeler_max_iter=40,
         seed=0,
     )
-    ig = InspectorGadget(config)
-    ig.fit(tiny_ksdd)
-    return ig.save(tmp_path_factory.mktemp("serving-profile") / "tiny.igz")
+    return serving_profile_cache(config)
+
+
+def shm_segments() -> list[str]:
+    """Live ``/dev/shm`` segment names from this package's shm arenas.
+
+    Shared by the shm and fleet suites to assert no cross-suite leakage:
+    each asserts the set is empty at suite entry and exit, so a leak is
+    attributed to the suite that made it, not the one that found it.
+    """
+    import glob
+    import os
+
+    from repro.serving.shm import SEGMENT_PREFIX
+
+    return sorted(
+        os.path.basename(path)
+        for path in glob.glob(f"/dev/shm/{SEGMENT_PREFIX}-*")
+    )
+
+
+@pytest.fixture(scope="module")
+def shm_leak_guard():
+    """Module-scoped cross-suite leak fence around ``/dev/shm``.
+
+    Suites that exercise the shm transport (shm, fleet) opt in with an
+    autouse wrapper: the entry assertion catches segments leaked *into*
+    the suite by whatever ran before it, the exit assertion segments
+    leaked *by* it — so a leak is pinned to the suite that made it.
+    """
+    leaked = shm_segments()
+    assert not leaked, f"segments leaked into this suite: {leaked}"
+    yield shm_segments
+    leaked = shm_segments()
+    assert not leaked, f"this suite leaked segments: {leaked}"
 
 
 @pytest.fixture(scope="session")

@@ -49,6 +49,13 @@ needs_shm = pytest.mark.skipif(
 )
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _shm_fence(shm_leak_guard):
+    """Cross-suite fence (shared with the fleet suite via conftest):
+    no segment may leak into this module or out of it."""
+    return shm_leak_guard
+
+
 @pytest.fixture(scope="module")
 def baseline(serving_profile):
     """The single-process reference every pool response must match."""
